@@ -1,0 +1,116 @@
+package citare
+
+import (
+	"sync"
+
+	"citare/internal/cq"
+	"citare/internal/datalog"
+	"citare/internal/sqlfe"
+)
+
+// CachedCiter wraps a Citer with a citation cache, one of the paper's §4
+// directions ("caching and materialization"). Cache keys are the canonical
+// form of the normalized, minimized query, so syntactic variants of the same
+// query — reordered bodies, renamed variables, redundant atoms — hit the
+// same entry. That is safe precisely because citations are plan-independent
+// (the paper's note after Example 3.3): equivalent queries have equal
+// citations. CachedCiter is safe for concurrent use.
+type CachedCiter struct {
+	citer *Citer
+
+	// computeMu serializes underlying engine calls: the engine lazily
+	// materializes views and caches rendered tokens, so it is not safe for
+	// concurrent use on its own.
+	computeMu sync.Mutex
+
+	mu      sync.Mutex
+	entries map[string]*Citation
+	hits    int
+	misses  int
+}
+
+// NewCached wraps a Citer with a citation cache.
+func NewCached(c *Citer) *CachedCiter {
+	return &CachedCiter{citer: c, entries: make(map[string]*Citation)}
+}
+
+// CiteSQL parses and cites a SQL query through the cache.
+func (c *CachedCiter) CiteSQL(sql string) (*Citation, error) {
+	q, err := sqlfe.Parse(c.citer.schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.cite(q)
+}
+
+// CiteDatalog parses and cites a datalog query through the cache.
+func (c *CachedCiter) CiteDatalog(src string) (*Citation, error) {
+	q, err := datalog.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.cite(q)
+}
+
+func (c *CachedCiter) cite(q *cq.Query) (*Citation, error) {
+	key, ok := cacheKey(q)
+	if !ok {
+		// Unsatisfiable queries are cheap; skip the cache.
+		return c.citer.cite(q)
+	}
+	c.mu.Lock()
+	if hit, found := c.entries[key]; found {
+		c.hits++
+		c.mu.Unlock()
+		return hit, nil
+	}
+	c.mu.Unlock()
+
+	c.computeMu.Lock()
+	defer c.computeMu.Unlock()
+	// Re-check: a concurrent miss may have filled the entry while we
+	// waited for the compute lock.
+	c.mu.Lock()
+	if hit, found := c.entries[key]; found {
+		c.hits++
+		c.mu.Unlock()
+		return hit, nil
+	}
+	c.mu.Unlock()
+
+	res, err := c.citer.cite(q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = res
+	c.misses++
+	c.mu.Unlock()
+	return res, nil
+}
+
+// cacheKey canonicalizes the query: normalize constants, minimize to the
+// core, take the canonical variable-renamed key.
+func cacheKey(q *cq.Query) (string, bool) {
+	norm, _, sat := q.NormalizeConstants()
+	if !sat {
+		return "", false
+	}
+	return cq.Minimize(norm).CanonicalKey(), true
+}
+
+// Stats reports cache hits and misses so far.
+func (c *CachedCiter) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Invalidate drops all cached citations and refreshes the underlying engine
+// (call after database updates).
+func (c *CachedCiter) Invalidate() error {
+	c.mu.Lock()
+	c.entries = make(map[string]*Citation)
+	c.mu.Unlock()
+	return c.citer.Reset()
+}

@@ -1,0 +1,122 @@
+package citare
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"citare/internal/gtopdb"
+)
+
+func TestCachedCiterHitsOnEquivalentQueries(t *testing.T) {
+	c := NewCached(newPaperCiter(t))
+	// Three syntactic variants of the same query.
+	variants := []string{
+		`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
+		`Q(Nm) :- FamilyIntro(Fam, Txt), Family(Fam, Nm, "gpcr")`,
+		`Q(A) :- Family(B, A, C), C = "gpcr", FamilyIntro(B, D), Family(B, A, E)`,
+	}
+	var first string
+	for i, v := range variants {
+		res, err := c.CiteDatalog(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if i == 0 {
+			first = res.CitationJSON()
+		} else if res.CitationJSON() != first {
+			t.Fatalf("variant %d citation differs", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("want 1 miss + 2 hits, got %d misses %d hits", misses, hits)
+	}
+}
+
+func TestCachedCiterSQLAndDatalogShareEntries(t *testing.T) {
+	c := NewCached(newPaperCiter(t))
+	if _, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CiteSQL(`SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'`); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("SQL should hit the datalog entry: %d misses %d hits", misses, hits)
+	}
+}
+
+func TestCachedCiterInvalidate(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	base, err := NewFromProgram(db, gtopdb.ViewsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(base)
+	res1, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("Family", "88", "Fresh", "gpcr")
+	if err := c.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NumTuples() != res1.NumTuples()+1 {
+		t.Fatalf("stale citation after Invalidate: %d vs %d", res2.NumTuples(), res1.NumTuples())
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("stats after invalidate: %d hits %d misses", hits, misses)
+	}
+}
+
+func TestCachedCiterUnsatBypassesCache(t *testing.T) {
+	c := NewCached(newPaperCiter(t))
+	for i := 0; i < 2; i++ {
+		if _, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("unsat queries must bypass the cache: %d hits %d misses", hits, misses)
+	}
+}
+
+func TestCachedCiterConcurrent(t *testing.T) {
+	c := NewCached(newPaperCiter(t))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two distinct queries interleaved across goroutines.
+			q := `Q(N) :- Family(F, N, Ty), Ty = "gpcr"`
+			if i%2 == 1 {
+				q = `Q(N) :- Family(F, N, Ty), Ty = "lgic"`
+			}
+			if _, err := c.CiteDatalog(q); err != nil {
+				errs <- fmt.Errorf("goroutine %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 32 {
+		t.Fatalf("accounting: %d hits + %d misses != 32", hits, misses)
+	}
+	if misses < 2 {
+		t.Fatalf("two distinct queries need at least 2 misses, got %d", misses)
+	}
+}

@@ -1,0 +1,220 @@
+// Package citare automatically generates citations for queries over
+// relational databases, implementing "A Model for Fine-Grained Data
+// Citation" (Davidson, Deutch, Milo, Silvello — CIDR 2017).
+//
+// Database owners attach citations to a small set of (possibly
+// λ-parameterized) citation views. A general query is then rewritten over
+// those views and the views' citations are combined in a citation semiring —
+// · for joint use, + for alternative bindings, +R for alternative rewritings
+// and Agg across output tuples — under owner-chosen interpretations and
+// preference orders.
+//
+// Quickstart:
+//
+//	db := gtopdb.PaperInstance()                  // or your own storage.DB
+//	citer, err := citare.NewFromProgram(db, gtopdb.ViewsProgram)
+//	res, err := citer.CiteSQL(`SELECT f.FName FROM Family f, FamilyIntro i
+//	                           WHERE f.FID = i.FID AND f.Type = 'gpcr'`)
+//	fmt.Println(res.CitationJSON())
+//
+// The package wires together the internal engine; the model itself lives in
+// internal/core (citation views, semiring, orders, policies), internal/
+// rewrite (answering queries using views) and internal/cq (conjunctive-query
+// reasoning).
+package citare
+
+import (
+	"fmt"
+
+	"citare/internal/core"
+	"citare/internal/cq"
+	"citare/internal/datalog"
+	"citare/internal/format"
+	"citare/internal/sqlfe"
+	"citare/internal/storage"
+)
+
+// Re-exported configuration types: the facade accepts the internal model's
+// policy vocabulary directly.
+type (
+	// Policy configures the combining-function interpretations,
+	// idempotence, preference orders and rewriting options (§3.3–§3.4 of
+	// the paper).
+	Policy = core.Policy
+	// Interp selects union or join record combination.
+	Interp = core.Interp
+	// CitationView is the (V, C_V, F_V) triple of Definition 2.1.
+	CitationView = core.CitationView
+)
+
+// Interpretation constants.
+const (
+	Union = core.InterpUnion
+	Join  = core.InterpJoin
+)
+
+// Citer computes citations for queries against one database and view set.
+type Citer struct {
+	engine *core.Engine
+	schema *storage.Schema
+}
+
+// Option customizes a Citer.
+type Option func(*options)
+
+type options struct {
+	policy    Policy
+	policySet bool
+	neutral   []*format.Object
+}
+
+// WithPolicy replaces the default policy.
+func WithPolicy(p Policy) Option {
+	return func(o *options) {
+		o.policy = p
+		o.policySet = true
+	}
+}
+
+// WithNeutralCitation adds a citation that is always included in aggregated
+// results (Definition 3.4's neutral element) — typically the database's own
+// citation.
+func WithNeutralCitation(obj *format.Object) Option {
+	return func(o *options) { o.neutral = append(o.neutral, obj) }
+}
+
+// New assembles a Citer over a database and citation views.
+func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pol := core.DefaultPolicy()
+	if o.policySet {
+		pol = o.policy
+	}
+	pol.Neutral = append(pol.Neutral, o.neutral...)
+	engine, err := core.NewEngine(db, views, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &Citer{engine: engine, schema: db.Schema()}, nil
+}
+
+// NewFromProgram assembles a Citer from a citation-view program in the
+// datalog surface syntax (see internal/datalog and gtopdb.ViewsProgram).
+func NewFromProgram(db *storage.DB, viewsProgram string, opts ...Option) (*Citer, error) {
+	prog, err := datalog.ParseProgram(viewsProgram)
+	if err != nil {
+		return nil, err
+	}
+	views, err := core.FromProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	return New(db, views, opts...)
+}
+
+// Engine exposes the underlying citation engine for advanced use.
+func (c *Citer) Engine() *core.Engine { return c.engine }
+
+// Reset refreshes the engine's caches after the database was updated.
+func (c *Citer) Reset() error { return c.engine.Reset() }
+
+// CiteSQL parses a conjunctive SQL query and computes its citation.
+func (c *Citer) CiteSQL(sql string) (*Citation, error) {
+	q, err := sqlfe.Parse(c.schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.cite(q)
+}
+
+// CiteDatalog parses a query in the paper's notation, e.g.
+//
+//	Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)
+//
+// and computes its citation.
+func (c *Citer) CiteDatalog(src string) (*Citation, error) {
+	q, err := datalog.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.cite(q)
+}
+
+func (c *Citer) cite(q *cq.Query) (*Citation, error) {
+	res, err := c.engine.Cite(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Citation{res: res}, nil
+}
+
+// Citation is the outcome of citing one query: the answer tuples, the
+// per-tuple citations, and the aggregated result-set citation.
+type Citation struct {
+	res *core.Result
+}
+
+// Columns returns the output column labels.
+func (ct *Citation) Columns() []string { return ct.res.Columns }
+
+// Rows returns the answer tuples.
+func (ct *Citation) Rows() [][]string {
+	out := make([][]string, len(ct.res.Tuples))
+	for i, tc := range ct.res.Tuples {
+		out[i] = append([]string(nil), tc.Tuple...)
+	}
+	return out
+}
+
+// Rewritings lists the rewritings used, rendered in the paper's notation.
+func (ct *Citation) Rewritings() []string {
+	out := make([]string, len(ct.res.Rewritings))
+	for i, r := range ct.res.Rewritings {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// TuplePolynomial renders the i-th tuple's citation polynomial, e.g.
+// CV1("13")·CV2("13") + CV4("gpcr")·CV2("13").
+func (ct *Citation) TuplePolynomial(i int) string {
+	if i < 0 || i >= len(ct.res.Tuples) {
+		return ""
+	}
+	return core.PolyString(ct.res.Tuples[i].Combined)
+}
+
+// TupleCitationJSON renders the i-th tuple's citation record as JSON.
+func (ct *Citation) TupleCitationJSON(i int) string {
+	if i < 0 || i >= len(ct.res.Tuples) {
+		return ""
+	}
+	return ct.res.Tuples[i].Rendered.JSON()
+}
+
+// CitationJSON renders the aggregated result-set citation as compact JSON.
+func (ct *Citation) CitationJSON() string { return ct.res.Citation.JSON() }
+
+// Render renders the aggregated citation in the named format: json,
+// json-compact, xml, bibtex or text.
+func (ct *Citation) Render(formatName string) (string, error) {
+	r, err := format.RendererByName(formatName)
+	if err != nil {
+		return "", err
+	}
+	return r.Render(ct.res.Citation), nil
+}
+
+// NumTuples returns the number of answer tuples.
+func (ct *Citation) NumTuples() int { return len(ct.res.Tuples) }
+
+// Result exposes the full internal result for advanced consumers.
+func (ct *Citation) Result() *core.Result { return ct.res }
+
+// String summarizes the citation for debugging.
+func (ct *Citation) String() string {
+	return fmt.Sprintf("Citation{%d tuples, %d rewritings}", len(ct.res.Tuples), len(ct.res.Rewritings))
+}

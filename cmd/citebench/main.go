@@ -1,0 +1,422 @@
+// Command citebench regenerates the experiment suite of EXPERIMENTS.md: the
+// E-group (the paper's worked examples, printed with their outputs) and the
+// B-group (measured microbenchmarks for the §4 open problems).
+//
+//	citebench            # run everything
+//	citebench -exp E3    # one experiment
+//	citebench -quick     # fewer timing iterations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"citare"
+	"citare/internal/core"
+	"citare/internal/cq"
+	"citare/internal/datalog"
+	"citare/internal/gtopdb"
+	"citare/internal/rewrite"
+	"citare/internal/storage"
+	"citare/internal/workload"
+)
+
+var quick bool
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B10)")
+	flag.BoolVar(&quick, "quick", false, "fewer timing iterations")
+	flag.Parse()
+
+	experiments := []struct {
+		id   string
+		name string
+		run  func() error
+	}{
+		{"E1", "Example 2.1 — citations of the five views", runE1},
+		{"E2", "Example 2.2 — rewritings of the gpcr-with-intro query", runE2},
+		{"E3", "Example 2.3 — rewritings incl. the single-view Q4", runE3},
+		{"E4", "Examples 3.1–3.3 — citation semiring (· , + , +R)", runE4},
+		{"E7", "Example 3.4 — idempotence collapses the result citation", runE7},
+		{"E8", "Example 3.5 — union vs join interpretations", runE8},
+		{"E9", "Examples 3.6–3.8 — preference orders", runE9},
+		{"E12", "§4 fixity — versioned citations", runE12},
+		{"B1", "rewriting cost vs #views", runB1},
+		{"B2", "rewriting cost vs query size", runB2},
+		{"B3", "citation cost vs database scale", runB3},
+		{"B4", "citation size ablation (idempotence, orders)", runB4},
+		{"B9", "minimality checks vs raw covers", runB9},
+		{"B10", "versioned snapshots", runB10},
+	}
+	failed := 0
+	for _, e := range experiments {
+		if *exp != "" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		fmt.Printf("\n== %s: %s ==\n", e.id, e.name)
+		if err := e.run(); err != nil {
+			failed++
+			fmt.Printf("   FAILED: %v\n", err)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func plainPolicy() citare.Policy {
+	return citare.Policy{Times: citare.Join, Plus: citare.Union, PlusR: citare.Union, Agg: citare.Union}
+}
+
+func runE1() error {
+	db := gtopdb.PaperInstance()
+	views := gtopdb.MustPaperViews()
+	for _, tc := range []struct {
+		view   string
+		params []string
+	}{
+		{"V1", []string{"11"}},
+		{"V2", []string{"11"}},
+		{"V3", nil},
+		{"V4", []string{"gpcr"}},
+		{"V5", []string{"gpcr"}},
+	} {
+		var cv *core.CitationView
+		for _, v := range views {
+			if v.Name() == tc.view {
+				cv = v
+			}
+		}
+		obj, err := cv.RenderToken(db, core.NewViewToken(tc.view, tc.params...))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   F%s(C%s(%s)) = %s\n", tc.view, tc.view, strings.Join(tc.params, ","), obj.JSON())
+	}
+	return nil
+}
+
+func printRewritings(queryText string) error {
+	q, err := datalog.ParseQuery(queryText)
+	if err != nil {
+		return err
+	}
+	views := gtopdb.MustPaperViews()
+	defs := make([]*cq.Query, len(views))
+	for i, v := range views {
+		defs[i] = v.Def
+	}
+	rs, err := rewrite.Enumerate(q, defs, rewrite.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   query: %s\n", q)
+	for _, r := range rs {
+		fmt.Printf("   %-55s  views=%d residual=%d total=%v\n",
+			r, r.NumViews(), r.ResidualPredicates(), r.IsTotal())
+	}
+	return nil
+}
+
+func runE2() error {
+	return printRewritings(`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`)
+}
+
+func runE3() error {
+	return printRewritings(`Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`)
+}
+
+func runE4() error {
+	c, err := citare.NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram, citare.WithPolicy(plainPolicy()))
+	if err != nil {
+		return err
+	}
+	res, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`)
+	if err != nil {
+		return err
+	}
+	for i, row := range res.Rows() {
+		fmt.Printf("   cite(%v) = %s\n", row, res.TuplePolynomial(i))
+	}
+	return nil
+}
+
+func runE7() error {
+	pol := plainPolicy()
+	pol.IdempotentPlus = true
+	pol.PreferredRewritings = true
+	c, err := citare.NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram, citare.WithPolicy(pol))
+	if err != nil {
+		return err
+	}
+	res, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr"`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d tuples, one aggregated citation:\n   %s\n", res.NumTuples(), res.CitationJSON())
+	return nil
+}
+
+func runE8() error {
+	for _, times := range []citare.Interp{citare.Union, citare.Join} {
+		pol := plainPolicy()
+		pol.Times = times
+		pol.PreferredRewritings = true
+		c, err := citare.NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram, citare.WithPolicy(pol))
+		if err != nil {
+			return err
+		}
+		res, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), F = "11", FamilyIntro(F, Tx)`)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   · as %-5v : %s\n", times, res.TupleCitationJSON(0))
+	}
+	return nil
+}
+
+func runE9() error {
+	q := `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`
+	views := gtopdb.MustPaperViews()
+	configs := []struct {
+		name   string
+		orders core.Orders
+	}{
+		{"none", nil},
+		{"fewest-views (Ex 3.6)", core.Orders{core.ByViewCount{}}},
+		{"fewest-uncovered (Ex 3.7)", core.Orders{core.ByUncovered{}}},
+		{"view-inclusion (Ex 3.8)", core.Orders{core.NewByViewInclusion(views)}},
+	}
+	for _, cfg := range configs {
+		pol := plainPolicy()
+		pol.Orders = cfg.orders
+		c, err := citare.NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram, citare.WithPolicy(pol))
+		if err != nil {
+			return err
+		}
+		res, err := c.CiteDatalog(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %-26s cite(first tuple) = %s\n", cfg.name, res.TuplePolynomial(0))
+	}
+	return nil
+}
+
+func runE12() error {
+	v := storage.NewVersionedDB(gtopdb.Schema())
+	v.MustInsert("Family", "11", "Calcitonin", "gpcr")
+	v.MustInsert("FC", "11", "p1")
+	v.MustInsert("Person", "p1", "Hay", "U. Auckland")
+	ver1 := v.Commit("release-1")
+	v.MustInsert("FC", "11", "p2")
+	v.MustInsert("Person", "p2", "Poyner", "Aston U.")
+	ver2 := v.Commit("release-2")
+
+	for _, ver := range []uint64{ver1, ver2} {
+		db, err := v.AsOf(ver)
+		if err != nil {
+			return err
+		}
+		c, err := citare.NewFromProgram(db, gtopdb.ViewsProgram)
+		if err != nil {
+			return err
+		}
+		res, err := c.CiteDatalog(`Q(N) :- Family(F, N, Ty), F = "11"`)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   version %d (%s): %s\n", ver, v.Label(ver), res.TupleCitationJSON(0))
+	}
+	diff, err := v.Diff(ver1, ver2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   diff v%d→v%d: %d change(s)\n", ver1, ver2, len(diff))
+	return nil
+}
+
+// timed runs fn `iters` times and reports the average duration.
+func timed(iters int, fn func() error) (time.Duration, error) {
+	if quick && iters > 3 {
+		iters = 3
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+func runB1() error {
+	const chain = 6
+	q := workload.ChainQuery(chain)
+	fmt.Println("   | #views | rewritings | time/op |")
+	fmt.Println("   |-------:|-----------:|--------:|")
+	for _, n := range []int{6, 11, 15, 18, 21} {
+		views := workload.WindowViews(chain, n)
+		var count int
+		d, err := timed(10, func() error {
+			rs, err := rewrite.Enumerate(q, views, rewrite.Options{})
+			count = len(rs)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %6d | %10d | %7s |\n", len(views), count, d.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runB2() error {
+	fmt.Println("   | subgoals | rewritings | time/op |")
+	fmt.Println("   |---------:|-----------:|--------:|")
+	for _, k := range []int{1, 2, 3, 4, 5, 6} {
+		q := workload.ChainQuery(k)
+		views := workload.WindowViews(k, 2*k)
+		var count int
+		d, err := timed(10, func() error {
+			rs, err := rewrite.Enumerate(q, views, rewrite.Options{})
+			count = len(rs)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %8d | %10d | %7s |\n", k, count, d.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runB3() error {
+	fmt.Println("   | families | out-tuples | time/op |")
+	fmt.Println("   |---------:|-----------:|--------:|")
+	for _, fams := range []int{50, 200, 800} {
+		cfg := gtopdb.DefaultConfig()
+		cfg.Families = fams
+		db := gtopdb.Generate(cfg)
+		c, err := citare.NewFromProgram(db, gtopdb.ViewsProgram)
+		if err != nil {
+			return err
+		}
+		var tuples int
+		d, err := timed(10, func() error {
+			res, err := c.CiteDatalog(`Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`)
+			if err == nil {
+				tuples = res.NumTuples()
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %8d | %10d | %7s |\n", fams, tuples, d.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runB4() error {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 200
+	db := gtopdb.Generate(cfg)
+	queryText := `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`
+	policies := []struct {
+		name string
+		pol  citare.Policy
+	}{
+		{"raw", plainPolicy()},
+		{"idempotent", func() citare.Policy { p := plainPolicy(); p.IdempotentPlus = true; return p }()},
+		{"idempotent+orders", func() citare.Policy {
+			p := plainPolicy()
+			p.IdempotentPlus = true
+			p.PreferredRewritings = true
+			p.Orders = core.Orders{core.ByUncovered{}, core.ByViewCount{}}
+			return p
+		}()},
+	}
+	fmt.Println("   | policy             | monomials | citation bytes | time/op |")
+	fmt.Println("   |--------------------|----------:|---------------:|--------:|")
+	for _, pc := range policies {
+		c, err := citare.NewFromProgram(db, gtopdb.ViewsProgram, citare.WithPolicy(pc.pol))
+		if err != nil {
+			return err
+		}
+		var monomials, bytes int
+		d, err := timed(5, func() error {
+			res, err := c.CiteDatalog(queryText)
+			if err != nil {
+				return err
+			}
+			monomials, bytes = 0, len(res.CitationJSON())
+			for ti := 0; ti < res.NumTuples(); ti++ {
+				monomials += res.Result().Tuples[ti].Combined.NumMonomials()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %-18s | %9d | %14d | %7s |\n", pc.name, monomials, bytes, d.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runB9() error {
+	const chain = 5
+	q := workload.ChainQuery(chain)
+	views := workload.WindowViews(chain, 12)
+	fmt.Println("   | mode               | rewritings | time/op |")
+	fmt.Println("   |--------------------|-----------:|--------:|")
+	for _, mode := range []struct {
+		name string
+		opts rewrite.Options
+	}{
+		{"certified+minimal", rewrite.Options{AllowPartial: true}},
+		{"raw covers", rewrite.Options{AllowPartial: true, SkipMinimality: true}},
+	} {
+		var count int
+		d, err := timed(5, func() error {
+			rs, err := rewrite.Enumerate(q, views, mode.opts)
+			count = len(rs)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %-18s | %10d | %7s |\n", mode.name, count, d.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runB10() error {
+	v := storage.NewVersionedDB(gtopdb.Schema())
+	for i := 0; i < 5000; i++ {
+		v.MustInsert("Family", fmt.Sprint(i), "N", "gpcr")
+		if i%500 == 499 {
+			v.Commit("")
+		}
+	}
+	versions := v.Versions()
+	var d time.Duration
+	uncached, err := timed(len(versions), func() error {
+		for _, ver := range versions {
+			if _, err := v.AsOf(ver); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	d = uncached / time.Duration(len(versions))
+	fmt.Printf("   %d committed versions over 5000 rows; AsOf ≈ %s per snapshot (amortized, cached)\n",
+		len(versions), d.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"citare/internal/datalog"
+)
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"no query", func() error {
+			return run(true, "", "", "", "", "json", false, false, false, "join", "union", "union", "union", false, false)
+		}},
+		{"both queries", func() error {
+			return run(true, "", "", "SELECT 1", "Q(X) :- R(X)", "json", false, false, false, "join", "union", "union", "union", false, false)
+		}},
+		{"no source", func() error {
+			return run(false, "", "", "", "Q(X) :- R(X)", "json", false, false, false, "join", "union", "union", "union", false, false)
+		}},
+		{"bad interp", func() error {
+			return run(true, "", "", "", `Q(N) :- Family(F, N, Ty)`, "json", false, false, false, "bogus", "union", "union", "union", false, false)
+		}},
+		{"bad format", func() error {
+			return run(true, "", "", "", `Q(N) :- Family(F, N, Ty)`, "yaml", false, false, false, "join", "union", "union", "union", false, false)
+		}},
+		{"bad query", func() error {
+			return run(true, "", "", "", `Q(N) :-`, "json", false, false, false, "join", "union", "union", "union", false, false)
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.call(); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunDemoHappyPath(t *testing.T) {
+	// Capture stdout to keep test output clean and assert on the citation.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(true, "", "", "", `Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
+		"json-compact", true, true, true, "join", "union", "union", "union", false, true)
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<16)
+	n, _ := r.Read(out)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	got := string(out[:n])
+	for _, want := range []string{"rewriting", "Calcitonin", "IUPHAR"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInferSchema(t *testing.T) {
+	prog, err := datalog.ParseProgram(`
+view V(X, Y) :- R(X, Y).
+cite V C(X) :- R(X, Y), S(Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := inferSchema(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Relation("R") == nil || schema.Relation("S") == nil {
+		t.Fatalf("schema incomplete: %s", schema)
+	}
+	if schema.Relation("R").Arity() != 2 || schema.Relation("S").Arity() != 1 {
+		t.Fatal("arities wrong")
+	}
+	// Conflicting arity must error.
+	bad, err := datalog.ParseProgram(`
+view V(X) :- R(X).
+cite V C(X) :- R(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inferSchema(bad); err == nil {
+		t.Fatal("conflicting arities accepted")
+	}
+}
+
+func TestRunWithCSVData(t *testing.T) {
+	dir := t.TempDir()
+	views := `
+view λF. V(F, N) :- Fam(F, N).
+cite V λF. C(F, N) :- Fam(F, N).
+fmt  V { "ID": F, "Name": N }.
+`
+	viewsPath := filepath.Join(dir, "views.cit")
+	if err := os.WriteFile(viewsPath, []byte(views), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "data")
+	if err := os.Mkdir(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	csv := "c0,c1\n1,alpha\n2,beta\n"
+	if err := os.WriteFile(filepath.Join(dataDir, "Fam.csv"), []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(false, dataDir, viewsPath, "", `Q(N) :- Fam(F, N), F = "1"`,
+		"json-compact", false, false, false, "join", "union", "union", "union", false, false)
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<16)
+	n, _ := r.Read(out)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.Contains(string(out[:n]), "alpha") {
+		t.Fatalf("CSV-backed citation missing: %s", out[:n])
+	}
+}

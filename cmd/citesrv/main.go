@@ -1,0 +1,138 @@
+// Command citesrv serves citations over HTTP — the integration surface a
+// database owner would put in front of GtoPdb-style resources.
+//
+//	citesrv -addr :8437
+//
+//	POST /cite    {"sql": "...", "format": "json"}    → citation
+//	POST /cite    {"datalog": "...", "format": "xml"} → citation
+//	GET  /views                                        → the citation views
+//	GET  /healthz                                      → ok
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"citare"
+	"citare/internal/gtopdb"
+	"citare/internal/storage"
+)
+
+type server struct {
+	citer        *citare.Citer
+	viewsProgram string
+}
+
+type citeRequest struct {
+	SQL     string `json:"sql,omitempty"`
+	Datalog string `json:"datalog,omitempty"`
+	Format  string `json:"format,omitempty"`
+}
+
+type citeResponse struct {
+	Columns     []string   `json:"columns"`
+	Rows        [][]string `json:"rows"`
+	Rewritings  []string   `json:"rewritings"`
+	Polynomials []string   `json:"polynomials"`
+	Citation    string     `json:"citation"`
+	Format      string     `json:"format"`
+}
+
+func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req citeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if (req.SQL == "") == (req.Datalog == "") {
+		http.Error(w, `provide exactly one of "sql" or "datalog"`, http.StatusBadRequest)
+		return
+	}
+	if req.Format == "" {
+		req.Format = "json"
+	}
+	var (
+		res *citare.Citation
+		err error
+	)
+	if req.SQL != "" {
+		res, err = s.citer.CiteSQL(req.SQL)
+	} else {
+		res, err = s.citer.CiteDatalog(req.Datalog)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	rendered, err := res.Render(req.Format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := citeResponse{
+		Columns:    res.Columns(),
+		Rows:       res.Rows(),
+		Rewritings: res.Rewritings(),
+		Citation:   rendered,
+		Format:     req.Format,
+	}
+	for i := 0; i < res.NumTuples(); i++ {
+		resp.Polynomials = append(resp.Polynomials, res.TuplePolynomial(i))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("citesrv: encode: %v", err)
+	}
+}
+
+func (s *server) handleViews(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.viewsProgram)
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8437", "listen address")
+		dataDir   = flag.String("data", "", "directory of <Relation>.csv files (defaults to the paper instance)")
+		viewsPath = flag.String("views", "", "citation-views program file (defaults to the paper's views)")
+	)
+	flag.Parse()
+
+	db := gtopdb.PaperInstance()
+	viewsProgram := gtopdb.ViewsProgram
+	if *viewsPath != "" {
+		raw, err := os.ReadFile(*viewsPath)
+		if err != nil {
+			log.Fatalf("citesrv: %v", err)
+		}
+		viewsProgram = string(raw)
+	}
+	if *dataDir != "" {
+		db = storage.NewDB(gtopdb.Schema())
+		if _, err := storage.LoadDir(db, *dataDir); err != nil {
+			log.Fatalf("citesrv: %v", err)
+		}
+	}
+	citer, err := citare.NewFromProgram(db, viewsProgram,
+		citare.WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		log.Fatalf("citesrv: %v", err)
+	}
+	s := &server{citer: citer, viewsProgram: viewsProgram}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cite", s.handleCite)
+	mux.HandleFunc("/views", s.handleViews)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("citesrv: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"citare"
+	"citare/internal/gtopdb"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	citer, err := citare.NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram,
+		citare.WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{citer: citer, viewsProgram: gtopdb.ViewsProgram}
+}
+
+func TestHandleCiteSQL(t *testing.T) {
+	s := testServer(t)
+	body := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+	req := httptest.NewRequest(http.MethodPost, "/cite", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handleCite(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp citeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 3 {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+	if len(resp.Rewritings) == 0 || len(resp.Polynomials) != 3 {
+		t.Fatalf("rewritings/polynomials missing: %+v", resp)
+	}
+	if !strings.Contains(resp.Citation, "IUPHAR") {
+		t.Fatalf("neutral citation missing: %s", resp.Citation)
+	}
+}
+
+func TestHandleCiteDatalogAndFormats(t *testing.T) {
+	s := testServer(t)
+	body := `{"datalog": "Q(N) :- Family(F, N, Ty), F = \"11\"", "format": "bibtex"}`
+	req := httptest.NewRequest(http.MethodPost, "/cite", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handleCite(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp citeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Citation, "@misc") {
+		t.Fatalf("bibtex rendering missing: %s", resp.Citation)
+	}
+}
+
+func TestHandleCiteErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		method string
+		body   string
+		want   int
+	}{
+		{http.MethodGet, ``, http.StatusMethodNotAllowed},
+		{http.MethodPost, `not json`, http.StatusBadRequest},
+		{http.MethodPost, `{}`, http.StatusBadRequest},
+		{http.MethodPost, `{"sql": "x", "datalog": "y"}`, http.StatusBadRequest},
+		{http.MethodPost, `{"sql": "SELECT nope FROM Nada"}`, http.StatusUnprocessableEntity},
+		{http.MethodPost, `{"sql": "SELECT FName FROM Family", "format": "yaml"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, "/cite", strings.NewReader(tc.body))
+		w := httptest.NewRecorder()
+		s.handleCite(w, req)
+		if w.Code != tc.want {
+			t.Fatalf("%s %q: status %d, want %d (%s)", tc.method, tc.body, w.Code, tc.want, w.Body.String())
+		}
+	}
+}
+
+func TestHandleViews(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/views", nil)
+	w := httptest.NewRecorder()
+	s.handleViews(w, req)
+	if !strings.Contains(w.Body.String(), "view λF. V1") {
+		t.Fatalf("views program missing: %s", w.Body.String()[:80])
+	}
+}

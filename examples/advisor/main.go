@@ -1,0 +1,56 @@
+// Advisor scenario (§4 of the paper): "using logs to understand database
+// usage and decide what citation views should be specified." This example
+// replays a simulated GtoPdb web log — family-page lookups, type-page
+// listings — and lets the advisor propose λ-parameterized citation views,
+// recovering the shapes of the paper's V1 and V5.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"citare/internal/advisor"
+	"citare/internal/cq"
+	"citare/internal/datalog"
+)
+
+func main() {
+	var queryLog []*cq.Query
+	parse := func(src string) {
+		q, err := datalog.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queryLog = append(queryLog, q)
+	}
+
+	// Family landing pages: the same query shape, many family ids — the
+	// workload behind the paper's V1.
+	for _, fid := range []string{"11", "12", "14", "20", "11", "12"} {
+		parse(`Q(N, Ty) :- Family("` + fid + `", N, Ty)`)
+	}
+	// Type pages with introductions — the workload behind V5.
+	for _, ty := range []string{"gpcr", "lgic", "nhr", "gpcr"} {
+		parse(`Q(N, Tx) :- Family(F, N, "` + ty + `"), FamilyIntro(F, Tx)`)
+	}
+	// A one-off ad-hoc query (below min support, ignored).
+	parse(`Q(Pn) :- Person(P, Pn, A)`)
+
+	suggestions, err := advisor.Advise(queryLog, advisor.Options{MinSupport: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d view suggestion(s) from %d log queries:\n\n", len(suggestions), len(queryLog))
+	for i, s := range suggestions {
+		fmt.Printf("%d. support=%d  distinct λ-values=%v\n   %s\n", i+1, s.Support, s.DistinctValues, s.View)
+		for _, ex := range s.Examples {
+			fmt.Printf("     e.g. %s\n", ex)
+		}
+	}
+
+	fmt.Println("\ncitation-view program stub for the owner to complete:")
+	fmt.Println(advisor.RenderProgramStub(suggestions))
+}

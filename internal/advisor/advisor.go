@@ -1,0 +1,329 @@
+// Package advisor implements one of the paper's §4 future-work directions:
+// "using logs to understand database usage and decide what citation views
+// should be specified."
+//
+// Given a log of conjunctive queries, the advisor mines recurring body
+// patterns (queries identical up to constants and variable names), decides
+// which constant positions should become λ-parameters (positions whose
+// values vary across the log — exactly the paper's family-id and type
+// parameters), and proposes view definitions with support counts. The
+// database owner still writes the citation queries and functions: what to
+// cite is a curatorial decision; *where* citations attach is what the log
+// reveals.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"citare/internal/cq"
+)
+
+// Suggestion is a proposed citation-view definition.
+type Suggestion struct {
+	// View is the proposed view definition, λ-parameterized where the log
+	// showed varying constants.
+	View *cq.Query
+	// Support is the number of log queries matching the pattern.
+	Support int
+	// DistinctValues maps each λ-parameter to the number of distinct
+	// constants observed for it.
+	DistinctValues map[string]int
+	// Examples holds up to three matching log queries (rendered).
+	Examples []string
+}
+
+// Options tunes the advisor.
+type Options struct {
+	// MinSupport is the minimum number of matching log queries for a
+	// pattern to be suggested (default 2).
+	MinSupport int
+	// MaxSuggestions bounds the output (0 = unbounded).
+	MaxSuggestions int
+	// IncludeSingleAtoms also mines one-atom sub-patterns of every query,
+	// which yields the fine-grained "landing page"-style views.
+	IncludeSingleAtoms bool
+}
+
+// pattern is a canonicalized query body shape: constants are replaced by
+// slot markers so that occurrences differing only in constants collide.
+type pattern struct {
+	key string
+	// skeleton is a representative query with constants replaced by slot
+	// variables named __s0, __s1, ….
+	skeleton *cq.Query
+	// slotValues collects, per slot, the constants observed.
+	slotValues map[string]map[string]bool
+	// headVars counts how often each skeleton variable was projected by
+	// the log query.
+	headVars map[string]int
+	support  int
+	examples []string
+}
+
+// Advise mines the query log and returns suggestions ordered by support
+// (descending), then pattern key.
+func Advise(log []*cq.Query, opts Options) ([]*Suggestion, error) {
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 2
+	}
+	patterns := make(map[string]*pattern)
+	for _, q := range log {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("advisor: invalid log query %s: %w", q.Name, err)
+		}
+		norm, _, sat := q.NormalizeConstants()
+		if !sat {
+			continue
+		}
+		record(patterns, norm)
+		if opts.IncludeSingleAtoms && len(norm.Atoms) > 1 {
+			for i := range norm.Atoms {
+				sub := subQuery(norm, i)
+				if sub != nil {
+					record(patterns, sub)
+				}
+			}
+		}
+	}
+	var out []*Suggestion
+	for _, p := range patterns {
+		if p.support < opts.MinSupport {
+			continue
+		}
+		out = append(out, p.toSuggestion())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].View.String() < out[j].View.String()
+	})
+	if opts.MaxSuggestions > 0 && len(out) > opts.MaxSuggestions {
+		out = out[:opts.MaxSuggestions]
+	}
+	return out, nil
+}
+
+// subQuery projects a normalized query onto a single atom, keeping only the
+// head variables that atom can safely export.
+func subQuery(q *cq.Query, atomIdx int) *cq.Query {
+	a := q.Atoms[atomIdx]
+	vars := make(map[string]bool)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			vars[t.Name] = true
+		}
+	}
+	sub := &cq.Query{Name: "Sub", Atoms: []cq.Atom{a.Clone()}}
+	for _, t := range q.Head {
+		if t.IsVar() && vars[t.Name] {
+			sub.Head = append(sub.Head, t)
+		}
+	}
+	if len(sub.Head) == 0 {
+		// Export everything; a view projecting nothing is useless.
+		for _, t := range a.Args {
+			if t.IsVar() {
+				sub.Head = append(sub.Head, t)
+			}
+		}
+	}
+	if len(sub.Head) == 0 {
+		return nil
+	}
+	return sub
+}
+
+// record canonicalizes q into a constant-slotted skeleton and merges it into
+// the pattern table.
+func record(patterns map[string]*pattern, q *cq.Query) {
+	skeleton, slots := slotted(q)
+	key := skeleton.CanonicalKey()
+	p, ok := patterns[key]
+	if !ok {
+		// Re-slot via canonical renaming so merged occurrences agree on
+		// names: apply the canonical form to the skeleton itself.
+		p = &pattern{
+			key:        key,
+			skeleton:   canonicalize(skeleton),
+			slotValues: make(map[string]map[string]bool),
+			headVars:   make(map[string]int),
+		}
+		patterns[key] = p
+	}
+	// Align this occurrence's slots with the stored skeleton: compute the
+	// canonical renaming of this skeleton and transfer slot values and
+	// head-variable counts through it.
+	ren := canonicalRenaming(skeleton)
+	for slotVar, val := range slots {
+		canon := ren[slotVar]
+		if canon == "" {
+			canon = slotVar
+		}
+		if p.slotValues[canon] == nil {
+			p.slotValues[canon] = make(map[string]bool)
+		}
+		p.slotValues[canon][val] = true
+	}
+	for _, t := range skeleton.Head {
+		if t.IsVar() {
+			canon := ren[t.Name]
+			if canon == "" {
+				canon = t.Name
+			}
+			p.headVars[canon]++
+		}
+	}
+	p.support++
+	if len(p.examples) < 3 {
+		p.examples = append(p.examples, q.String())
+	}
+}
+
+// slotted replaces every constant in the body with a fresh slot variable
+// __s0, __s1, … appended to the head (so slots survive canonicalization as
+// distinguished positions). Returns the skeleton and slot-variable values.
+func slotted(q *cq.Query) (*cq.Query, map[string]string) {
+	out := q.Clone()
+	slots := make(map[string]string)
+	next := 0
+	slotFor := func(val string) cq.Term {
+		// One slot per distinct constant value within the query, so joins
+		// on the same constant stay joined.
+		for name, v := range slots {
+			if v == val {
+				return cq.Var(name)
+			}
+		}
+		name := fmt.Sprintf("__s%d", next)
+		next++
+		slots[name] = val
+		return cq.Var(name)
+	}
+	for i := range out.Atoms {
+		for j, t := range out.Atoms[i].Args {
+			if t.IsConst {
+				out.Atoms[i].Args[j] = slotFor(t.Value)
+			}
+		}
+	}
+	for i, t := range out.Head {
+		if t.IsConst {
+			out.Head[i] = slotFor(t.Value)
+		}
+	}
+	// Comparisons keep non-equality predicates; constants there also slot.
+	for i := range out.Comps {
+		if out.Comps[i].L.IsConst {
+			out.Comps[i].L = slotFor(out.Comps[i].L.Value)
+		}
+		if out.Comps[i].R.IsConst {
+			out.Comps[i].R = slotFor(out.Comps[i].R.Value)
+		}
+	}
+	// Slot variables join the head so they become λ-parameter candidates.
+	have := make(map[string]bool)
+	for _, t := range out.Head {
+		if t.IsVar() {
+			have[t.Name] = true
+		}
+	}
+	slotNames := make([]string, 0, len(slots))
+	for name := range slots {
+		slotNames = append(slotNames, name)
+	}
+	sort.Strings(slotNames)
+	for _, name := range slotNames {
+		if !have[name] {
+			out.Head = append(out.Head, cq.Var(name))
+		}
+	}
+	return out, slots
+}
+
+// canonicalRenaming returns the variable renaming the CanonicalKey ordering
+// induces.
+func canonicalRenaming(q *cq.Query) map[string]string {
+	canon := canonicalize(q)
+	ren := make(map[string]string)
+	origVars := q.Vars()
+	canonVars := canon.Vars()
+	if len(origVars) == len(canonVars) {
+		for i := range origVars {
+			ren[origVars[i]] = canonVars[i]
+		}
+	}
+	return ren
+}
+
+// canonicalize renames q's variables into the canonical x0, x1, … order used
+// by CanonicalKey.
+func canonicalize(q *cq.Query) *cq.Query {
+	ren := make(cq.Subst)
+	for i, v := range q.Vars() {
+		ren[v] = cq.Var(fmt.Sprintf("x%d", i)) // first-occurrence order
+		_ = i
+	}
+	return q.Apply(ren)
+}
+
+func (p *pattern) toSuggestion() *Suggestion {
+	view := p.skeleton.Clone()
+	view.Name = "VSuggested"
+	s := &Suggestion{Support: p.support, DistinctValues: make(map[string]int), Examples: p.examples}
+	// Slots with ≥2 distinct observed values become λ-parameters; slots
+	// with a single value are folded back into the constant (a selection
+	// view); everything else keeps its head role.
+	fold := make(cq.Subst)
+	var params []string
+	slotNames := make([]string, 0, len(p.slotValues))
+	for name := range p.slotValues {
+		slotNames = append(slotNames, name)
+	}
+	sort.Strings(slotNames)
+	for _, name := range slotNames {
+		vals := p.slotValues[name]
+		if len(vals) >= 2 {
+			params = append(params, name)
+			s.DistinctValues[name] = len(vals)
+			continue
+		}
+		for v := range vals {
+			fold[name] = cq.Const(v)
+		}
+	}
+	view = view.Apply(fold)
+	// Drop folded slots from the head.
+	var head []cq.Term
+	for _, t := range view.Head {
+		if t.IsConst {
+			continue
+		}
+		head = append(head, t)
+	}
+	view.Head = head
+	view.Params = params
+	s.View = view
+	return s
+}
+
+// RenderProgramStub renders suggestions as a citation-view program skeleton
+// the owner can complete with citation queries and functions.
+func RenderProgramStub(suggestions []*Suggestion) string {
+	var sb strings.Builder
+	for i, s := range suggestions {
+		view := s.View.Clone()
+		view.Name = fmt.Sprintf("V%d", i+1)
+		fmt.Fprintf(&sb, "# support=%d", s.Support)
+		if len(s.DistinctValues) > 0 {
+			fmt.Fprintf(&sb, " λ-candidates=%v", s.DistinctValues)
+		}
+		sb.WriteByte('\n')
+		fmt.Fprintf(&sb, "view %s.\n", view)
+		fmt.Fprintf(&sb, "# cite %s <citation query here>.\n", view.Name)
+		fmt.Fprintf(&sb, "# fmt  %s { ... }.\n\n", view.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,204 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"citare/internal/cq"
+	"citare/internal/datalog"
+)
+
+func mustQ(t testing.TB, src string) *cq.Query {
+	t.Helper()
+	q, err := datalog.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+// TestAdviseRecoversFamilyPageView simulates GtoPdb's web log: many
+// family-page lookups with different family ids. The advisor must propose a
+// λ-parameterized family view — the paper's V1.
+func TestAdviseRecoversFamilyPageView(t *testing.T) {
+	var log []*cq.Query
+	for _, fid := range []string{"11", "12", "13", "14"} {
+		log = append(log, mustQ(t, `Q(N, Ty) :- Family("`+fid+`", N, Ty)`))
+	}
+	sugg, err := Advise(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 1 {
+		t.Fatalf("want 1 suggestion, got %d", len(sugg))
+	}
+	s := sugg[0]
+	if s.Support != 4 {
+		t.Fatalf("support %d", s.Support)
+	}
+	if len(s.View.Params) != 1 {
+		t.Fatalf("the varying family id must become a λ-parameter: %s", s.View)
+	}
+	if s.DistinctValues[s.View.Params[0]] != 4 {
+		t.Fatalf("distinct values: %v", s.DistinctValues)
+	}
+	// The suggested view must be structurally the paper's V1 modulo naming
+	// and head order (projected variables first, λ-slot appended).
+	v1 := mustQ(t, `λF. V1(N, Ty, F) :- Family(F, N, Ty)`)
+	if !cq.Equivalent(s.View, v1) {
+		t.Fatalf("suggestion %s is not the family view", s.View)
+	}
+}
+
+// TestAdviseKeepsStableSelection: a constant that never varies stays a
+// selection, not a parameter.
+func TestAdviseKeepsStableSelection(t *testing.T) {
+	var log []*cq.Query
+	for i := 0; i < 3; i++ {
+		log = append(log, mustQ(t, `Q(N) :- Family(F, N, "gpcr")`))
+	}
+	sugg, err := Advise(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 1 {
+		t.Fatalf("suggestions: %d", len(sugg))
+	}
+	s := sugg[0]
+	if len(s.View.Params) != 0 {
+		t.Fatalf("stable constant must not become a parameter: %s", s.View)
+	}
+	found := false
+	for _, a := range s.View.Atoms {
+		for _, tm := range a.Args {
+			if tm.IsConst && tm.Value == "gpcr" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("selection constant lost: %s", s.View)
+	}
+}
+
+func TestAdviseMinSupport(t *testing.T) {
+	log := []*cq.Query{
+		mustQ(t, `Q(N) :- Family(F, N, Ty)`),
+		mustQ(t, `Q(Tx) :- FamilyIntro(F, Tx)`),
+		mustQ(t, `Q(Tx) :- FamilyIntro(G, Tx)`),
+	}
+	sugg, err := Advise(log, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 1 {
+		t.Fatalf("only the repeated intro lookup qualifies: %d suggestions", len(sugg))
+	}
+	if sugg[0].View.Atoms[0].Pred != "FamilyIntro" {
+		t.Fatalf("wrong pattern: %s", sugg[0].View)
+	}
+}
+
+func TestAdviseJoinPatternWithVaryingType(t *testing.T) {
+	// Example 2.3's workload: type pages with intros, across types.
+	var log []*cq.Query
+	for _, ty := range []string{"gpcr", "lgic", "nhr"} {
+		log = append(log, mustQ(t, `Q(N, Tx) :- Family(F, N, "`+ty+`"), FamilyIntro(F, Tx)`))
+	}
+	sugg, err := Advise(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 1 {
+		t.Fatalf("suggestions: %d", len(sugg))
+	}
+	s := sugg[0]
+	if len(s.View.Params) != 1 {
+		t.Fatalf("type should be a λ-parameter: %s", s.View)
+	}
+	// Structurally the paper's V5.
+	v5 := mustQ(t, `λTy. V5(N, Tx, Ty) :- Family(F, N, Ty), FamilyIntro(F, Tx)`)
+	if !cq.Equivalent(s.View, v5) {
+		t.Fatalf("suggestion %s should match V5's shape", s.View)
+	}
+}
+
+func TestAdviseSingleAtomMining(t *testing.T) {
+	var log []*cq.Query
+	for _, fid := range []string{"1", "2"} {
+		log = append(log, mustQ(t, `Q(N) :- Family("`+fid+`", N, Ty), FamilyIntro("`+fid+`", Tx)`))
+	}
+	// Without single-atom mining: one join pattern.
+	sugg, err := Advise(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 1 {
+		t.Fatalf("whole-query patterns: %d", len(sugg))
+	}
+	// With single-atom mining, the Family and FamilyIntro sub-patterns
+	// also reach support 2.
+	sugg2, err := Advise(log, Options{IncludeSingleAtoms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg2) != 3 {
+		t.Fatalf("want join + 2 single-atom patterns, got %d", len(sugg2))
+	}
+}
+
+func TestAdviseUnsatAndInvalid(t *testing.T) {
+	unsat := mustQ(t, `Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"`)
+	sugg, err := Advise([]*cq.Query{unsat, unsat}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 0 {
+		t.Fatal("unsatisfiable queries must not generate suggestions")
+	}
+	bad := &cq.Query{Name: "Q", Head: []cq.Term{cq.Var("X")}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("Y"))}}
+	if _, err := Advise([]*cq.Query{bad}, Options{}); err == nil {
+		t.Fatal("invalid log query accepted")
+	}
+}
+
+func TestAdviseMaxSuggestionsAndOrdering(t *testing.T) {
+	var log []*cq.Query
+	for i := 0; i < 5; i++ {
+		log = append(log, mustQ(t, `Q(N) :- Family(F, N, Ty)`))
+	}
+	for i := 0; i < 3; i++ {
+		log = append(log, mustQ(t, `Q(Tx) :- FamilyIntro(F, Tx)`))
+	}
+	sugg, err := Advise(log, Options{MaxSuggestions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 1 || sugg[0].Support != 5 {
+		t.Fatalf("highest-support pattern must come first: %+v", sugg)
+	}
+}
+
+func TestRenderProgramStub(t *testing.T) {
+	log := []*cq.Query{
+		mustQ(t, `Q(N, Ty) :- Family("11", N, Ty)`),
+		mustQ(t, `Q(N, Ty) :- Family("12", N, Ty)`),
+	}
+	sugg, err := Advise(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := RenderProgramStub(sugg)
+	if !strings.Contains(stub, "view ") || !strings.Contains(stub, "# cite V1") {
+		t.Fatalf("stub: %s", stub)
+	}
+	// The stub's view line parses back.
+	for _, line := range strings.Split(stub, "\n") {
+		if strings.HasPrefix(line, "view ") {
+			src := strings.TrimSuffix(strings.TrimPrefix(line, "view "), ".")
+			if _, err := datalog.ParseQuery(src); err != nil {
+				t.Fatalf("stub view does not parse: %q: %v", src, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"citare/internal/cq"
+	"citare/internal/eval"
+	"citare/internal/format"
+	"citare/internal/provenance"
+	"citare/internal/rewrite"
+	"citare/internal/storage"
+)
+
+// viewRelPrefix namespaces materialized view relations inside the engine's
+// execution database, away from base relations.
+const viewRelPrefix = "__view_"
+
+// Engine computes citations for general queries over a database with a set
+// of citation views and a policy. An Engine snapshots nothing: it evaluates
+// against the database it was given, materializing view instances lazily and
+// caching them, so it should be rebuilt (or Reset) after database updates.
+type Engine struct {
+	db     *storage.DB
+	views  []*CitationView
+	byName map[string]*CitationView
+	policy Policy
+
+	execDB       *storage.DB
+	materialized map[string]bool
+	tokenCache   map[string]*format.Object
+}
+
+// NewEngine assembles an engine. View names must be unique.
+func NewEngine(db *storage.DB, views []*CitationView, policy Policy) (*Engine, error) {
+	e := &Engine{
+		db:           db,
+		views:        views,
+		byName:       make(map[string]*CitationView, len(views)),
+		policy:       policy,
+		materialized: make(map[string]bool),
+		tokenCache:   make(map[string]*format.Object),
+	}
+	for _, v := range views {
+		if v == nil {
+			return nil, fmt.Errorf("core: nil citation view")
+		}
+		if _, dup := e.byName[v.Name()]; dup {
+			return nil, fmt.Errorf("core: duplicate citation view %s", v.Name())
+		}
+		e.byName[v.Name()] = v
+	}
+	if err := e.buildExecSchema(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Views returns the engine's citation views.
+func (e *Engine) Views() []*CitationView { return e.views }
+
+// Policy returns the engine's policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// DB returns the underlying database.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Reset drops materialization and rendering caches (call after updating the
+// database).
+func (e *Engine) Reset() error {
+	e.materialized = make(map[string]bool)
+	e.tokenCache = make(map[string]*format.Object)
+	return e.buildExecSchema()
+}
+
+// buildExecSchema creates the execution database: every base relation plus
+// one (initially empty) relation per citation view.
+func (e *Engine) buildExecSchema() error {
+	s := storage.NewSchema()
+	for _, rs := range e.db.Schema().Relations() {
+		cols := append([]storage.Column(nil), rs.Cols...)
+		if err := s.AddRelation(&storage.RelSchema{Name: rs.Name, Cols: cols}); err != nil {
+			return err
+		}
+	}
+	for _, v := range e.views {
+		cols := make([]storage.Column, len(v.Def.Head))
+		for i := range cols {
+			cols[i] = storage.Column{Name: fmt.Sprintf("h%d", i)}
+		}
+		if err := s.AddRelation(&storage.RelSchema{Name: viewRelPrefix + v.Name(), Cols: cols}); err != nil {
+			return err
+		}
+	}
+	exec := storage.NewDB(s)
+	for _, rs := range e.db.Schema().Relations() {
+		var ierr error
+		e.db.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+			if err := exec.Insert(rs.Name, t...); err != nil {
+				ierr = err
+				return false
+			}
+			return true
+		})
+		if ierr != nil {
+			return ierr
+		}
+	}
+	e.execDB = exec
+	return nil
+}
+
+// materializeView evaluates the view definition into the execution database
+// once.
+func (e *Engine) materializeView(v *CitationView) error {
+	if e.materialized[v.Name()] {
+		return nil
+	}
+	res, err := eval.Eval(e.db, v.Def)
+	if err != nil {
+		return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
+	}
+	rel := viewRelPrefix + v.Name()
+	for _, t := range res.Tuples {
+		if err := e.execDB.Insert(rel, t...); err != nil {
+			return err
+		}
+	}
+	e.materialized[v.Name()] = true
+	return nil
+}
+
+// RewritingCitation is the citation polynomial a single rewriting assigns to
+// one output tuple (Definition 3.2: the + over all bindings of that
+// rewriting).
+type RewritingCitation struct {
+	Rewriting *rewrite.Rewriting
+	Poly      provenance.Poly
+}
+
+// TupleCitation carries the citation of one output tuple: the per-rewriting
+// polynomials (+R operands, Definition 3.3), the pruned/combined polynomial,
+// and the rendered record.
+type TupleCitation struct {
+	Tuple storage.Tuple
+	// PerRewriting lists the +R operands in rewriting order.
+	PerRewriting []RewritingCitation
+	// Kept indexes the +R-maximal operands after order pruning.
+	Kept []int
+	// Combined is the +R-combined, order-pruned citation polynomial.
+	Combined provenance.Poly
+	// Rendered is the tuple's citation record under the policy's
+	// interpretations.
+	Rendered format.Value
+}
+
+// Result is the full citation outcome for a query (Definition 3.4).
+type Result struct {
+	// Query is the normalized, minimized query the citation refers to.
+	Query *cq.Query
+	// Rewritings are the certified rewritings used (may be empty when the
+	// views cannot express the query; the citation then degrades to the
+	// policy's neutral citations).
+	Rewritings []*rewrite.Rewriting
+	// Columns labels the output columns.
+	Columns []string
+	// Tuples holds per-tuple citations in deterministic order.
+	Tuples []TupleCitation
+	// Citation is the aggregated citation for the entire result set,
+	// including the policy's neutral citations.
+	Citation format.Value
+}
+
+// Cite computes the citation for a query: rewritings are enumerated
+// (§2.2), per-binding monomials are combined with · (Definition 3.1), per
+// rewriting with + (Definition 3.2), across rewritings with +R (Definition
+// 3.3, order-pruned per §3.4), and across tuples with Agg (Definition 3.4).
+func (e *Engine) Cite(q *cq.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	norm, _, sat := q.NormalizeConstants()
+	if !sat {
+		return e.citeUnsat(norm)
+	}
+	min := cq.Minimize(norm)
+
+	defs := make([]*cq.Query, len(e.views))
+	for i, v := range e.views {
+		defs[i] = v.Def
+	}
+	rewritings, err := rewrite.Enumerate(min, defs, rewrite.Options{
+		AllowPartial:  e.policy.AllowPartial,
+		MaxRewritings: e.policy.MaxRewritings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.policy.PreferredRewritings {
+		rewritings = preferRewritings(rewritings)
+	}
+
+	res := &Result{Query: min, Rewritings: rewritings}
+	for _, t := range min.Head {
+		if t.IsVar() {
+			res.Columns = append(res.Columns, t.Name)
+		} else {
+			res.Columns = append(res.Columns, t.Value)
+		}
+	}
+
+	// Evaluate the query itself for the output tuples (independent of any
+	// rewriting, so even an un-rewritable query reports its answers).
+	out, err := eval.Eval(e.db, min)
+	if err != nil {
+		return nil, err
+	}
+	perTuple := make(map[string]*TupleCitation, len(out.Tuples))
+	order := make([]string, 0, len(out.Tuples))
+	for _, t := range out.Tuples {
+		k := t.Key()
+		perTuple[k] = &TupleCitation{Tuple: t}
+		order = append(order, k)
+	}
+
+	for _, r := range rewritings {
+		polys, err := e.rewritingPolys(r)
+		if err != nil {
+			return nil, err
+		}
+		for k, p := range polys {
+			tc := perTuple[k]
+			if tc == nil {
+				// A certified rewriting cannot produce extra tuples; guard
+				// anyway to surface bugs instead of silently diverging.
+				return nil, fmt.Errorf("core: rewriting %s produced tuple outside the query result", r)
+			}
+			tc.PerRewriting = append(tc.PerRewriting, RewritingCitation{Rewriting: r, Poly: p})
+		}
+	}
+
+	for _, k := range order {
+		tc := perTuple[k]
+		e.combineTuple(tc)
+		res.Tuples = append(res.Tuples, *tc)
+	}
+	sort.Slice(res.Tuples, func(i, j int) bool {
+		return res.Tuples[i].Tuple.Key() < res.Tuples[j].Tuple.Key()
+	})
+
+	res.Citation = e.aggregate(res.Tuples)
+	return res, nil
+}
+
+// preferRewritings implements the paper's §2.3 preference model: keep only
+// rewritings not dominated by another on the triple (uncovered base
+// subgoals, remaining comparison predicates, number of views) — total
+// rewritings beat partial ones, λ-absorbed selections beat residual
+// predicates, and fewer views beat more.
+func preferRewritings(rs []*rewrite.Rewriting) []*rewrite.Rewriting {
+	dominates := func(a, b *rewrite.Rewriting) bool {
+		if a.NumBase() > b.NumBase() || a.ResidualPredicates() > b.ResidualPredicates() || a.NumViews() > b.NumViews() {
+			return false
+		}
+		return a.NumBase() < b.NumBase() || a.ResidualPredicates() < b.ResidualPredicates() || a.NumViews() < b.NumViews()
+	}
+	var out []*rewrite.Rewriting
+	for i, r := range rs {
+		dominated := false
+		for j, s := range rs {
+			if i != j && dominates(s, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// citeUnsat handles unsatisfiable queries: empty result, neutral citation.
+func (e *Engine) citeUnsat(q *cq.Query) (*Result, error) {
+	res := &Result{Query: q}
+	res.Citation = e.aggregate(nil)
+	return res, nil
+}
+
+// rewritingPolys evaluates one rewriting over the execution database and
+// returns, per output-tuple key, the Σ-over-bindings polynomial of
+// Definition 3.2; each binding contributes the ·-product of its view tokens
+// (Definition 3.1) and, under Example 3.7's convention, C_R tokens for base
+// atoms.
+func (e *Engine) rewritingPolys(r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
+	// Translate the rewriting into a CQ over the execution database.
+	q := &cq.Query{Name: "RW", Head: append([]cq.Term(nil), r.Head...)}
+	type viewAtomInfo struct {
+		view     *CitationView
+		paramPos []int
+		argBase  int // index of first arg term in the atom
+	}
+	var infos []viewAtomInfo
+	for _, va := range r.ViewAtoms {
+		v := e.byName[va.View.Name]
+		if v == nil {
+			return nil, fmt.Errorf("core: rewriting uses unknown view %s", va.View.Name)
+		}
+		if err := e.materializeView(v); err != nil {
+			return nil, err
+		}
+		pos, err := v.Def.ParamPositions()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, cq.Atom{Pred: viewRelPrefix + v.Name(), Args: append([]cq.Term(nil), va.Args...)})
+		infos = append(infos, viewAtomInfo{view: v, paramPos: pos})
+	}
+	nViewAtoms := len(q.Atoms)
+	for _, a := range r.BaseAtoms {
+		q.Atoms = append(q.Atoms, a.Clone())
+	}
+	q.Comps = append(q.Comps, r.Comps...)
+
+	polys := make(map[string]provenance.Poly)
+	err := eval.EvalBindings(e.execDB, q, func(b eval.Binding, matches []eval.Match) error {
+		// Head tuple.
+		out := make(storage.Tuple, len(q.Head))
+		for i, t := range q.Head {
+			if t.IsConst {
+				out[i] = t.Value
+			} else {
+				out[i] = b[t.Name]
+			}
+		}
+		// Monomial: one view token per view atom (parameter values from
+		// the binding), plus C_R tokens for base atoms when configured.
+		var toks []provenance.Token
+		for ai, info := range infos {
+			params := make([]string, len(info.paramPos))
+			for pi, hp := range info.paramPos {
+				arg := q.Atoms[ai].Args[hp]
+				if arg.IsConst {
+					params[pi] = arg.Value
+				} else {
+					params[pi] = b[arg.Name]
+				}
+			}
+			toks = append(toks, NewViewToken(info.view.Name(), params...).Encode())
+		}
+		if e.policy.IncludeBaseTokens {
+			for _, a := range q.Atoms[nViewAtoms:] {
+				toks = append(toks, NewRelToken(a.Pred).Encode())
+			}
+		}
+		m := provenance.NewMonomial(toks...)
+		k := out.Key()
+		p, ok := polys[k]
+		if !ok {
+			p = provenance.NewPoly()
+		}
+		p.Add(m, 1)
+		polys[k] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.policy.IdempotentPlus || len(e.policy.Orders) > 0 {
+		for k, p := range polys {
+			if e.policy.IdempotentPlus {
+				p = p.Idempotent()
+			}
+			p = e.policy.Orders.NormalForm(p)
+			polys[k] = p
+		}
+	}
+	return polys, nil
+}
+
+// combineTuple applies +R across the tuple's rewriting polynomials: order
+// pruning keeps the maximal operands (§3.4), which are then summed into the
+// combined polynomial and rendered under the policy's interpretations.
+func (e *Engine) combineTuple(tc *TupleCitation) {
+	ps := make([]provenance.Poly, len(tc.PerRewriting))
+	for i, rc := range tc.PerRewriting {
+		ps[i] = rc.Poly
+	}
+	tc.Kept = e.policy.Orders.MaximalPolys(ps)
+	combined := provenance.NewPoly()
+	for _, i := range tc.Kept {
+		combined = combined.Plus(ps[i])
+	}
+	if e.policy.IdempotentPlus {
+		combined = combined.Idempotent()
+	}
+	combined = e.policy.Orders.NormalForm(combined)
+	tc.Combined = combined
+	tc.Rendered = e.renderTuple(tc)
+}
+
+// renderTuple renders a tuple's citation: per kept rewriting, monomials
+// render as ·-combinations of token citations and are +-combined; the kept
+// rewritings are +R-combined.
+func (e *Engine) renderTuple(tc *TupleCitation) format.Value {
+	var perRewriting []format.Value
+	for _, i := range tc.Kept {
+		p := tc.PerRewriting[i].Poly
+		var monoVals []format.Value
+		for _, m := range p.Monomials() {
+			monoVals = append(monoVals, e.renderMonomial(m))
+		}
+		perRewriting = append(perRewriting, combine(e.policy.Plus, monoVals))
+	}
+	return combine(e.policy.PlusR, perRewriting)
+}
+
+// renderMonomial renders the ·-combination of a monomial's token citations.
+func (e *Engine) renderMonomial(m provenance.Monomial) format.Value {
+	var vals []format.Value
+	for _, pt := range m.Support() {
+		obj := e.renderTokenCached(pt)
+		for i := 0; i < m.Exp(pt); i++ {
+			vals = append(vals, format.O(obj))
+			break // citations are set-like: exponents do not repeat records
+		}
+	}
+	return combine(e.policy.Times, vals)
+}
+
+func (e *Engine) renderTokenCached(pt provenance.Token) *format.Object {
+	if obj, ok := e.tokenCache[string(pt)]; ok {
+		return obj
+	}
+	obj := e.renderToken(pt)
+	e.tokenCache[string(pt)] = obj
+	return obj
+}
+
+func (e *Engine) renderToken(pt provenance.Token) *format.Object {
+	tok, err := DecodeToken(pt)
+	if err != nil {
+		return format.NewObject().Set("InvalidToken", format.S(string(pt)))
+	}
+	if tok.Kind == RelToken {
+		return format.NewObject().Set("UncitedRelation", format.S(tok.Name))
+	}
+	v := e.byName[tok.Name]
+	if v == nil {
+		return format.NewObject().Set("UnknownView", format.S(tok.Name))
+	}
+	obj, err := v.RenderToken(e.db, tok)
+	if err != nil {
+		return format.NewObject().
+			Set("View", format.S(tok.Name)).
+			Set("Error", format.S(err.Error()))
+	}
+	return obj
+}
+
+// aggregate applies Agg across tuple citations and injects the policy's
+// neutral citations (Definition 3.4).
+func (e *Engine) aggregate(tuples []TupleCitation) format.Value {
+	var vals []format.Value
+	for _, n := range e.policy.Neutral {
+		vals = append(vals, format.O(n))
+	}
+	for _, tc := range tuples {
+		if tc.Rendered.Kind == format.KObject && tc.Rendered.Obj != nil && tc.Rendered.Obj.Len() == 0 {
+			continue // empty citation (no rewriting covered the tuple)
+		}
+		vals = append(vals, tc.Rendered)
+	}
+	return combine(e.policy.Agg, vals)
+}
+
+// CiteTupleString renders a tuple citation polynomial in the paper's
+// notation with +R operands parenthesized, e.g.
+//
+//	(CV1("13") + CV4("gpcr")) · CV2("13")
+//
+// is displayed in expanded form CV1("13")·CV2("13") + CV4("gpcr")·CV2("13").
+func (tc *TupleCitation) CiteTupleString() string { return PolyString(tc.Combined) }

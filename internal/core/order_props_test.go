@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"citare/internal/core"
+	"citare/internal/gtopdb"
+	"citare/internal/provenance"
+)
+
+func randomCitationPoly(r *rand.Rand) provenance.Poly {
+	views := []string{"V1", "V2", "V3", "V4", "V5"}
+	p := provenance.NewPoly()
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		var toks []provenance.Token
+		for j, m := 0, 1+r.Intn(3); j < m; j++ {
+			if r.Intn(5) == 0 {
+				toks = append(toks, core.NewRelToken("Family").Encode())
+				continue
+			}
+			v := views[r.Intn(len(views))]
+			var params []string
+			if v != "V3" {
+				params = []string{[]string{"11", "12", "gpcr"}[r.Intn(3)]}
+			}
+			toks = append(toks, core.NewViewToken(v, params...).Encode())
+		}
+		p.Add(provenance.NewMonomial(toks...), 1)
+	}
+	return p
+}
+
+// TestPropNormalFormIdempotent: NF(NF(p)) = NF(p) for every order set.
+func TestPropNormalFormIdempotent(t *testing.T) {
+	orderSets := []core.Orders{
+		{core.ByViewCount{}},
+		{core.ByUncovered{}},
+		{core.ByViewCount{}, core.ByUncovered{}},
+		{core.NewByViewInclusion(gtopdb.MustPaperViews())},
+	}
+	r := rand.New(rand.NewSource(31))
+	f := func() bool {
+		p := randomCitationPoly(r)
+		for _, os := range orderSets {
+			nf := os.NormalForm(p)
+			nf2 := os.NormalForm(nf)
+			if !nf.Equal(nf2) {
+				return false
+			}
+			// NF never grows.
+			if nf.NumMonomials() > p.NumMonomials() {
+				return false
+			}
+			// NF is never empty for non-zero input.
+			if !p.IsZero() && nf.IsZero() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMaximalPolysSound: the kept set is non-empty, within range, and
+// every dropped polynomial is dominated by a kept one.
+func TestPropMaximalPolys(t *testing.T) {
+	orders := core.Orders{core.ByViewCount{}}
+	r := rand.New(rand.NewSource(32))
+	f := func() bool {
+		n := 1 + r.Intn(4)
+		ps := make([]provenance.Poly, n)
+		for i := range ps {
+			ps[i] = randomCitationPoly(r)
+		}
+		kept := orders.MaximalPolys(ps)
+		if len(kept) == 0 || len(kept) > n {
+			return false
+		}
+		keptSet := make(map[int]bool)
+		for _, i := range kept {
+			if i < 0 || i >= n {
+				return false
+			}
+			keptSet[i] = true
+		}
+		for i := range ps {
+			if keptSet[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range kept {
+				if orders.PolyLessEq(ps[i], ps[j]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPolyLessEqReflexiveTransitive on the view-count order.
+func TestPropPolyLessEqLaws(t *testing.T) {
+	orders := core.Orders{core.ByViewCount{}, core.ByUncovered{}}
+	r := rand.New(rand.NewSource(33))
+	f := func() bool {
+		p, q, s := randomCitationPoly(r), randomCitationPoly(r), randomCitationPoly(r)
+		if !orders.PolyLessEq(p, p) {
+			return false
+		}
+		if orders.PolyLessEq(p, q) && orders.PolyLessEq(q, s) && !orders.PolyLessEq(p, s) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrdersConjunctionIsStricter: the conjunction of two orders relates at
+// most what each component relates.
+func TestOrdersConjunctionIsStricter(t *testing.T) {
+	a := core.Orders{core.ByViewCount{}}
+	b := core.Orders{core.ByUncovered{}}
+	both := core.Orders{core.ByViewCount{}, core.ByUncovered{}}
+	r := rand.New(rand.NewSource(34))
+	f := func() bool {
+		m1 := randomCitationPoly(r)
+		m2 := randomCitationPoly(r)
+		if both.PolyLessEq(m1, m2) {
+			return a.PolyLessEq(m1, m2) && b.PolyLessEq(m1, m2)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

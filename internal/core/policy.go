@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"citare/internal/format"
+)
+
+// Interp selects a concrete interpretation for an abstract combination
+// operation (§3.3 of the paper).
+type Interp int
+
+// Interpretations.
+const (
+	// InterpUnion keeps the operands side by side as a deduplicated list
+	// ("· is simply the union of the records", Example 3.5).
+	InterpUnion Interp = iota
+	// InterpJoin merges the operand records, factoring out common elements
+	// and unioning lists (the paper's "join" interpretation).
+	InterpJoin
+)
+
+// String returns the interpretation's surface name.
+func (i Interp) String() string {
+	switch i {
+	case InterpUnion:
+		return "union"
+	case InterpJoin:
+		return "join"
+	}
+	return fmt.Sprintf("interp(%d)", int(i))
+}
+
+// ParseInterp parses "union" or "join".
+func ParseInterp(s string) (Interp, error) {
+	switch s {
+	case "union":
+		return InterpUnion, nil
+	case "join", "merge":
+		return InterpJoin, nil
+	}
+	return 0, fmt.Errorf("core: unknown interpretation %q (want union or join)", s)
+}
+
+// combine folds values under an interpretation.
+func combine(interp Interp, vals []format.Value) format.Value {
+	switch len(vals) {
+	case 0:
+		return format.O(format.NewObject())
+	case 1:
+		return vals[0]
+	}
+	if interp == InterpUnion {
+		return format.UnionValues(vals...)
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = format.MergeValues(acc, v)
+	}
+	return acc
+}
+
+// Policy is the database owner's configuration of the citation model: the
+// interpretations of ·, +, +R and Agg, idempotence of +, whether uncovered
+// base relations leave C_R markers (Example 3.7), the preference orders used
+// for pruning (§3.4), and always-included citations injected through Agg's
+// neutral element (e.g. the database's own citation, Definition 3.4).
+type Policy struct {
+	// Times interprets · (joint use within a binding).
+	Times Interp
+	// Plus interprets + (alternative bindings of one rewriting).
+	Plus Interp
+	// PlusR interprets +R (alternative rewritings).
+	PlusR Interp
+	// Agg interprets the aggregation across output tuples.
+	Agg Interp
+	// IdempotentPlus applies a + a = a: duplicate bindings and duplicate
+	// monomials collapse (Example 3.4).
+	IdempotentPlus bool
+	// IncludeBaseTokens places a C_R token in the citation whenever a
+	// rewriting accesses base relation R directly (Example 3.7).
+	IncludeBaseTokens bool
+	// Orders prune dominated monomials within + and dominated polynomials
+	// within +R (§3.4). Empty means no pruning.
+	Orders Orders
+	// Neutral citations are always included in the aggregated result —
+	// even when the output is empty (Definition 3.4's neutral element,
+	// "for example the database name or its NAR Database issue
+	// publication").
+	Neutral []*format.Object
+	// AllowPartial admits partial rewritings (views plus base relations).
+	AllowPartial bool
+	// MaxRewritings bounds rewriting enumeration (0 = unbounded).
+	MaxRewritings int
+	// PreferredRewritings applies the paper's §2.3 preference model before
+	// +R: a rewriting is kept only if no other rewriting dominates it on
+	// (fewer uncovered base subgoals, fewer remaining comparison
+	// predicates, fewer views). Example 3.4's "every λ-parameter equated
+	// to a constant" case then wins, yielding a single compact citation.
+	PreferredRewritings bool
+}
+
+// DefaultPolicy mirrors the paper's running choices: union for ·/+/+R,
+// union-aggregation, idempotent +, partial rewritings admitted with C_R
+// markers, the §2.3 rewriting preference, and the fewest-views /
+// fewest-uncovered monomial orders.
+func DefaultPolicy() Policy {
+	return Policy{
+		Times:               InterpJoin,
+		Plus:                InterpUnion,
+		PlusR:               InterpUnion,
+		Agg:                 InterpUnion,
+		IdempotentPlus:      true,
+		IncludeBaseTokens:   true,
+		AllowPartial:        true,
+		PreferredRewritings: true,
+		Orders:              Orders{ByUncovered{}, ByViewCount{}},
+	}
+}

@@ -1,0 +1,11 @@
+package core_test
+
+import (
+	"citare/internal/cq"
+	"citare/internal/sqlfe"
+	"citare/internal/storage"
+)
+
+func sqlfeParse(schema *storage.Schema, sql string) (*cq.Query, error) {
+	return sqlfe.Parse(schema, sql)
+}

@@ -1,0 +1,189 @@
+// Package core implements the paper's primary contribution: the citation
+// model of Davidson, Deutch, Milo and Silvello (CIDR 2017).
+//
+// A CitationView is the triple (V, C_V, F_V) of Definition 2.1. Citations
+// for general queries are assembled by rewriting the query over the views
+// (internal/rewrite) and combining per-view citations in the citation
+// semiring (§3): · for joint use within a binding (Definition 3.1), + for
+// alternative bindings (Definition 3.2), +R for alternative rewritings
+// (Definition 3.3) and Agg across output tuples (Definition 3.4). Database
+// owners choose interpretations for the abstract operations (§3.3) and
+// preference orders over monomials and polynomials (§3.4) through a Policy.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"citare/internal/provenance"
+)
+
+// TokenKind discriminates citation tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	// ViewToken is a citation stemming from a citation view: F_V(C_V(a⃗)).
+	ViewToken TokenKind = iota
+	// RelToken is the paper's C_R atom (Example 3.7): a marker placed in
+	// the citation whenever a rewriting accesses base relation R directly.
+	RelToken
+)
+
+// Token is a base citation annotation: a view instantiated at parameter
+// values, or an uncovered-relation marker.
+type Token struct {
+	Kind TokenKind
+	// Name is the view name (ViewToken) or relation name (RelToken).
+	Name string
+	// Params holds the λ-parameter values of the view instance, aligned
+	// with the view's parameter list. Empty for unparameterized views and
+	// for RelTokens.
+	Params []string
+}
+
+// NewViewToken builds the token for a view instance.
+func NewViewToken(view string, params ...string) Token {
+	return Token{Kind: ViewToken, Name: view, Params: params}
+}
+
+// NewRelToken builds the C_R token for a base relation.
+func NewRelToken(rel string) Token { return Token{Kind: RelToken, Name: rel} }
+
+// String renders the token in the paper's style: CV4("gpcr"), CV3, C_Family.
+func (t Token) String() string {
+	if t.Kind == RelToken {
+		return "C_" + t.Name
+	}
+	if len(t.Params) == 0 {
+		return t.Name
+	}
+	quoted := make([]string, len(t.Params))
+	for i, p := range t.Params {
+		quoted[i] = strconv.Quote(p)
+	}
+	return t.Name + "(" + strings.Join(quoted, ",") + ")"
+}
+
+// Encode packs the token into a provenance.Token so citation polynomials
+// can reuse the provenance-semiring machinery. The encoding is unambiguous
+// and ordered consistently with String for deterministic output.
+func (t Token) Encode() provenance.Token {
+	var sb strings.Builder
+	if t.Kind == RelToken {
+		sb.WriteString("r|")
+	} else {
+		sb.WriteString("v|")
+	}
+	sb.WriteString(t.Name)
+	for _, p := range t.Params {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Quote(p))
+	}
+	return provenance.Token(sb.String())
+}
+
+// DecodeToken unpacks a provenance token produced by Encode. Parameters are
+// Go-quoted, so separators inside values round-trip safely.
+func DecodeToken(pt provenance.Token) (Token, error) {
+	s := string(pt)
+	var t Token
+	switch {
+	case strings.HasPrefix(s, "v|"):
+		t.Kind = ViewToken
+	case strings.HasPrefix(s, "r|"):
+		t.Kind = RelToken
+	default:
+		return Token{}, fmt.Errorf("core: malformed citation token %q", pt)
+	}
+	s = s[2:]
+	if i := strings.IndexByte(s, '|'); i >= 0 {
+		t.Name = s[:i]
+		s = s[i+1:]
+	} else {
+		t.Name = s
+		return t, nil
+	}
+	for len(s) > 0 {
+		quoted, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return Token{}, fmt.Errorf("core: malformed token parameter in %q: %w", pt, err)
+		}
+		p, err := strconv.Unquote(quoted)
+		if err != nil {
+			return Token{}, fmt.Errorf("core: malformed token parameter %q: %w", quoted, err)
+		}
+		t.Params = append(t.Params, p)
+		s = s[len(quoted):]
+		if len(s) > 0 {
+			if s[0] != '|' {
+				return Token{}, fmt.Errorf("core: malformed citation token %q", pt)
+			}
+			s = s[1:]
+		}
+	}
+	return t, nil
+}
+
+// monomialString renders a citation monomial in the paper's notation, e.g.
+// CV1("13") · CV2("13").
+func monomialString(m provenance.Monomial) string {
+	var parts []string
+	for _, pt := range m.Support() {
+		t, err := DecodeToken(pt)
+		label := string(pt)
+		if err == nil {
+			label = t.String()
+		}
+		for i := 0; i < m.Exp(pt); i++ {
+			parts = append(parts, label)
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, " · ")
+}
+
+// PolyString renders a citation polynomial in the paper's notation, e.g.
+// CV1("13") · CV2("13") + CV4("gpcr") · CV2("13").
+func PolyString(p provenance.Poly) string {
+	if p.IsZero() {
+		return "0"
+	}
+	var parts []string
+	for _, m := range p.Monomials() {
+		c := p.Coefficient(m)
+		s := monomialString(m)
+		if c != 1 {
+			s = fmt.Sprintf("%d·%s", c, s)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// viewTokenCount counts view tokens (with multiplicity) in a monomial —
+// "note that we only cite views, not base relations" (Example 3.6).
+func viewTokenCount(m provenance.Monomial) int {
+	n := 0
+	for _, pt := range m.Support() {
+		if strings.HasPrefix(string(pt), "v|") {
+			n += m.Exp(pt)
+		}
+	}
+	return n
+}
+
+// relTokenCount counts C_R tokens (with multiplicity) in a monomial
+// (Example 3.7).
+func relTokenCount(m provenance.Monomial) int {
+	n := 0
+	for _, pt := range m.Support() {
+		if strings.HasPrefix(string(pt), "r|") {
+			n += m.Exp(pt)
+		}
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropContainmentTransitive: Q1 ⊆ Q2 and Q2 ⊆ Q3 imply Q1 ⊆ Q3.
+func TestPropContainmentTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		q1, q2, q3 := randomQuery(r), randomQuery(r), randomQuery(r)
+		if Contains(q1, q2) && Contains(q2, q3) {
+			return Contains(q1, q3)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMinimizeIdempotent: minimizing twice equals minimizing once.
+func TestPropMinimizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	f := func() bool {
+		q := randomQuery(r)
+		m1 := Minimize(q)
+		m2 := Minimize(m1)
+		return len(m1.Atoms) == len(m2.Atoms) && Equivalent(m1, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropCanonicalKeyStableUnderShuffle: reordering atoms preserves the
+// canonical key.
+func TestPropCanonicalKeyStableUnderShuffle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	f := func() bool {
+		q := randomQuery(r)
+		shuffled := q.Clone()
+		r.Shuffle(len(shuffled.Atoms), func(i, j int) {
+			shuffled.Atoms[i], shuffled.Atoms[j] = shuffled.Atoms[j], shuffled.Atoms[i]
+		})
+		return q.CanonicalKey() == shuffled.CanonicalKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropNormalizePreservesEquivalence: chasing equalities into constants
+// never changes the query's meaning.
+func TestPropNormalizePreservesEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	f := func() bool {
+		q := randomQuery(r)
+		// Sprinkle equalities.
+		vars := q.Vars()
+		if len(vars) > 0 && r.Intn(2) == 0 {
+			q.Comps = append(q.Comps, Comparison{
+				L: Var(vars[r.Intn(len(vars))]), Op: OpEq, R: Const("a"),
+			})
+		}
+		if len(vars) > 1 {
+			q.Comps = append(q.Comps, Comparison{
+				L: Var(vars[0]), Op: OpEq, R: Var(vars[len(vars)-1]),
+			})
+		}
+		norm, _, sat := q.NormalizeConstants()
+		if !sat {
+			// Unsat: q must be contained in everything.
+			return Contains(q, randomQuery(r))
+		}
+		return Equivalent(q, norm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComparisonsImpliedCoverage(t *testing.T) {
+	x, y := Var("X"), Var("Y")
+	lt := Comparison{L: x, Op: OpLt, R: y}
+	le := Comparison{L: x, Op: OpLe, R: y}
+	ne := Comparison{L: x, Op: OpNe, R: y}
+	id := Subst{}
+	// X<Y implies X<=Y and X!=Y.
+	if !ComparisonsImplied([]Comparison{le, ne}, []Comparison{lt}, id) {
+		t.Fatal("strict should imply non-strict and disequality")
+	}
+	// X<=Y does not imply X<Y.
+	if ComparisonsImplied([]Comparison{lt}, []Comparison{le}, id) {
+		t.Fatal("non-strict must not imply strict")
+	}
+	// Ground comparisons evaluate.
+	g := Comparison{L: Const("1"), Op: OpLt, R: Const("2")}
+	if !ComparisonsImplied([]Comparison{g}, nil, id) {
+		t.Fatal("1<2 must hold")
+	}
+	bad := Comparison{L: Const("3"), Op: OpLt, R: Const("2")}
+	if ComparisonsImplied([]Comparison{bad}, nil, id) {
+		t.Fatal("3<2 must fail")
+	}
+	// X<=X is trivially true; X<X is not.
+	if !ComparisonsImplied([]Comparison{{L: x, Op: OpLe, R: x}}, nil, id) {
+		t.Fatal("X<=X must hold")
+	}
+	if ComparisonsImplied([]Comparison{{L: x, Op: OpLt, R: x}}, nil, id) {
+		t.Fatal("X<X must fail")
+	}
+}
+
+func TestMinimizeWithComparisons(t *testing.T) {
+	// The comparison pins Ty, so the second atom stays distinct.
+	q1 := q("Q", []Term{v("N")},
+		[]Atom{
+			atom("Family", v("F"), v("N"), v("Ty")),
+			atom("Family", v("F2"), v("N"), v("Ty2")),
+		},
+		Comparison{L: v("Ty"), Op: OpEq, R: c("gpcr")},
+	)
+	min := Minimize(q1)
+	if len(min.Atoms) != 1 {
+		// After normalization, Family(F,N,"gpcr") subsumes Family(F2,N,Ty2).
+		t.Fatalf("expected collapse to one atom, got %v", min)
+	}
+	if !Equivalent(q1, min) {
+		t.Fatal("minimization changed meaning")
+	}
+}
+
+func TestParamPositionsErrors(t *testing.T) {
+	qq := &Query{Name: "V", Params: []string{"Z"},
+		Head:  []Term{v("X")},
+		Atoms: []Atom{atom("R", v("X"), v("Z"))}}
+	if _, err := qq.ParamPositions(); err == nil {
+		t.Fatal("param outside head accepted")
+	}
+	ok := &Query{Name: "V", Params: []string{"X"},
+		Head:  []Term{v("Y"), v("X")},
+		Atoms: []Atom{atom("R", v("X"), v("Y"))}}
+	pos, err := ok.ParamPositions()
+	if err != nil || len(pos) != 1 || pos[0] != 1 {
+		t.Fatalf("positions %v, err %v", pos, err)
+	}
+}

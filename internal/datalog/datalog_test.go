@@ -1,0 +1,235 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"citare/internal/cq"
+	"citare/internal/format"
+)
+
+func TestParseQueryPaperExample22(t *testing.T) {
+	q, err := ParseQuery(`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || len(q.Head) != 1 || !q.Head[0].Equal(cq.Var("N")) {
+		t.Fatalf("head: %v", q)
+	}
+	if len(q.Atoms) != 2 || q.Atoms[0].Pred != "Family" || q.Atoms[1].Pred != "FamilyIntro" {
+		t.Fatalf("atoms: %v", q.Atoms)
+	}
+	if len(q.Comps) != 1 || q.Comps[0].Op != cq.OpEq || !q.Comps[0].R.Equal(cq.Const("gpcr")) {
+		t.Fatalf("comps: %v", q.Comps)
+	}
+}
+
+func TestParseQueryLambda(t *testing.T) {
+	for _, src := range []string{
+		`λF. V1(F, N, Ty) :- Family(F, N, Ty)`,
+		`lambda F. V1(F, N, Ty) :- Family(F, N, Ty)`,
+	} {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(q.Params) != 1 || q.Params[0] != "F" {
+			t.Fatalf("params: %v", q.Params)
+		}
+	}
+	q, err := ParseQuery(`lambda Ty, N. V(N, Ty) :- Family(F, N, Ty)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Params) != 2 || q.Params[0] != "Ty" || q.Params[1] != "N" {
+		t.Fatalf("multi params: %v", q.Params)
+	}
+}
+
+func TestParseQueryNumbersAndOps(t *testing.T) {
+	q, err := ParseQuery(`Q(X) :- R(X, Y), X != Y, Y >= 10, X < "zz"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Comps) != 3 {
+		t.Fatalf("comps: %v", q.Comps)
+	}
+	if !q.Comps[1].R.Equal(cq.Const("10")) {
+		t.Fatalf("number literal: %v", q.Comps[1])
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []string{
+		``,                             // empty
+		`Q(X)`,                         // no body
+		`Q(X) :- R(X`,                  // unterminated
+		`Q(X) :- R(X), trailing junk(`, // junk
+		`Q(X) :- X = "a"`,              // no atoms (unsafe)
+		`Q(X) :- R(Y)`,                 // unsafe head
+		`λP. Q(X) :- R(X)`,             // param not in head
+		`Q(X) :- R(X) extra`,           // trailing tokens
+		`Q(X) :- R(X), X ! Y`,          // bad operator
+		`Q(X) :- R("unterminated`,      // bad string
+	}
+	for _, src := range cases {
+		if _, err := ParseQuery(src); err == nil {
+			t.Fatalf("accepted invalid query %q", src)
+		}
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := ParseQuery("Q(X) :-\n  R(X,\n  ?")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if perr.Line != 3 {
+		t.Fatalf("want line 3, got %d (%v)", perr.Line, err)
+	}
+}
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	srcs := []string{
+		`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
+		`λTy. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)`,
+		`Q(X, "lit") :- R(X, Y), S(Y, "10"), X != Y`,
+	}
+	for _, src := range srcs {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := ParseQuery(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q1.String(), err)
+		}
+		if q1.Key() != q2.Key() {
+			t.Fatalf("round trip changed query:\n%s\n%s", q1.Key(), q2.Key())
+		}
+	}
+}
+
+const paperProgram = `
+# The five citation views of Example 2.1.
+view λF. V1(F, N, Ty) :- Family(F, N, Ty).
+cite V1 λF. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A).
+fmt  V1 { "ID": F, "Name": N, "Committee": [Pn] }.
+
+view λF. V2(F, Tx) :- FamilyIntro(F, Tx).
+cite V2 λF. CV2(F, N, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A).
+fmt  V2 { "ID": F, "Name": N, "Text": Tx, "Contributors": [Pn] }.
+
+view V3(F, N, Ty) :- Family(F, N, Ty).
+cite V3 CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", MetaData(T2, X2), T2 = "URL".
+fmt  V3 { "URL": X2, "Owner": X1 }.
+
+view λTy. V4(F, N, Ty) :- Family(F, N, Ty).
+cite V4 λTy. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A).
+fmt  V4 { "Type": Ty, "Contributors": group(N) { "Name": N, "Committee": [Pn] } }.
+
+view λTy. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx).
+cite V5 λTy. CV5(N, Ty, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A).
+fmt  V5 { "Type": Ty, "Contributors": group(N) { "Name": N, "Committee": [Pn] } }.
+`
+
+func TestParseProgramPaperViews(t *testing.T) {
+	prog, err := ParseProgram(paperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Views) != 5 {
+		t.Fatalf("want 5 views, got %d", len(prog.Views))
+	}
+	v1 := prog.View("V1")
+	if v1 == nil || v1.Cite == nil || v1.Fmt == nil {
+		t.Fatal("V1 incomplete")
+	}
+	if len(v1.View.Params) != 1 || v1.View.Params[0] != "F" {
+		t.Fatalf("V1 params: %v", v1.View.Params)
+	}
+	if v1.Cite.Name != "CV1" || len(v1.Cite.Atoms) != 3 {
+		t.Fatalf("CV1: %v", v1.Cite)
+	}
+	v3 := prog.View("V3")
+	if len(v3.View.Params) != 0 {
+		t.Fatal("V3 must be unparameterized")
+	}
+	if len(v3.Cite.Comps) != 2 {
+		t.Fatalf("CV3 comparisons: %v", v3.Cite.Comps)
+	}
+	v4 := prog.View("V4")
+	if len(v4.Fmt.Fields) != 2 || v4.Fmt.Fields[1].Kind != format.FGroup {
+		t.Fatalf("V4 fmt: %+v", v4.Fmt.Fields)
+	}
+	if prog.View("V9") != nil {
+		t.Fatal("unknown view lookup should return nil")
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := map[string]string{
+		"cite before view": `cite V1 λF. C(F) :- R(F).`,
+		"fmt before view":  `fmt V1 { "A": X }.`,
+		"duplicate view":   `view V(X) :- R(X). cite V C(X) :- R(X). view V(X) :- R(X).`,
+		"missing cite":     `view V(X) :- R(X).`,
+		"param mismatch":   `view λF. V(F) :- R(F). cite V C(X) :- R(X).`,
+		"bad keyword":      `banana V(X) :- R(X).`,
+		"bad fmt value":    `view V(X) :- R(X). cite V C(X) :- R(X). fmt V { "A": :- }.`,
+	}
+	for name, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Fatalf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseProgramDefaultSpec(t *testing.T) {
+	prog, err := ParseProgram(`view V(X) :- R(X, Y). cite V C(X, Y) :- R(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := prog.Views[0].Fmt
+	if spec == nil || len(spec.Fields) != 2 {
+		t.Fatalf("default spec: %+v", spec)
+	}
+	for _, f := range spec.Fields {
+		if f.Kind != format.FList {
+			t.Fatalf("default fields must be lists: %+v", f)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# leading comment
+Q(X) :- // inline comment style
+  R(X, Y),   # another
+  X != Y
+`
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 1 || len(q.Comps) != 1 {
+		t.Fatalf("parse with comments: %v", q)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	q, err := ParseQuery(`Q(X) :- R(X, "a\"b\nc\\d")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\"b\nc\\d"
+	if !q.Atoms[0].Args[1].Equal(cq.Const(want)) {
+		t.Fatalf("escape handling: %q", q.Atoms[0].Args[1].Value)
+	}
+	if !strings.Contains(q.String(), `\"`) {
+		t.Fatalf("render must re-escape: %s", q.String())
+	}
+}

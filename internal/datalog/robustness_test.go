@@ -1,0 +1,70 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics drives the query and program parsers with random
+// byte soup and with mutated valid programs: they must return errors, never
+// panic.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	alphabet := []byte(`QVXYZabc123(),.:-=!<>"{}[]λ #\n\t`)
+	randomInput := func() string {
+		n := r.Intn(60)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return string(buf)
+	}
+	f := func() bool {
+		src := randomInput()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ParseQuery panicked on %q: %v", src, rec)
+				}
+			}()
+			_, _ = ParseQuery(src)
+		}()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ParseProgram panicked on %q: %v", src, rec)
+				}
+			}()
+			_, _ = ParseProgram(src)
+		}()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserMutatedValidProgram truncates and perturbs a valid program at
+// every position: no panics, and the intact program still parses.
+func TestParserMutatedValidProgram(t *testing.T) {
+	src := `
+view λF. V1(F, N, Ty) :- Family(F, N, Ty).
+cite V1 λF. CV1(F, N) :- Family(F, N, Ty).
+fmt  V1 { "ID": F, "Names": [N] }.
+`
+	if _, err := ParseProgram(src); err != nil {
+		t.Fatalf("baseline program must parse: %v", err)
+	}
+	for cut := 0; cut < len(src); cut += 3 {
+		truncated := src[:cut]
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on truncation at %d: %v", cut, rec)
+				}
+			}()
+			_, _ = ParseProgram(truncated)
+		}()
+	}
+}

@@ -1,0 +1,363 @@
+// Package eval evaluates conjunctive queries over the storage engine.
+//
+// Besides plain set-semantics evaluation it exposes full *binding
+// enumeration* — every valuation of the query's variables that derives an
+// output tuple, together with the base tuples used. Binding enumeration is
+// the operational core of the citation model: Definition 3.1 of the paper
+// attaches a citation to a single binding, Definition 3.2 sums (+) over all
+// bindings yielding a tuple.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"citare/internal/cq"
+	"citare/internal/storage"
+)
+
+// Binding is a valuation of query variables.
+type Binding map[string]string
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Match records which base tuple satisfied which query atom in a binding.
+type Match struct {
+	AtomIndex int
+	Rel       string
+	Tuple     storage.Tuple
+}
+
+// Result is the set-semantics output of a query.
+type Result struct {
+	// Cols labels the output columns: the head variable name, or the
+	// constant's value for constant head terms.
+	Cols   []string
+	Tuples []storage.Tuple
+}
+
+// Contains reports whether the result includes the tuple.
+func (r *Result) Contains(t storage.Tuple) bool {
+	for _, u := range r.Tuples {
+		if u.Key() == t.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval evaluates q over db with set semantics. Output tuples are
+// deterministically sorted.
+func Eval(db *storage.DB, q *cq.Query) (*Result, error) {
+	res := &Result{Cols: headCols(q)}
+	seen := make(map[string]bool)
+	err := EvalBindings(db, q, func(b Binding, _ []Match) error {
+		out, err := headTuple(q, b)
+		if err != nil {
+			return err
+		}
+		if k := out.Key(); !seen[k] {
+			seen[k] = true
+			res.Tuples = append(res.Tuples, out)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(res.Tuples, func(i, j int) bool {
+		return res.Tuples[i].Key() < res.Tuples[j].Key()
+	})
+	return res, nil
+}
+
+// EvalBindings enumerates every binding of q's variables that satisfies the
+// body over db, invoking fn with the binding and the matched base tuples.
+// Returning a non-nil error from fn aborts the enumeration.
+func EvalBindings(db *storage.DB, q *cq.Query, fn func(b Binding, matches []Match) error) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, a := range q.Atoms {
+		rel := db.Relation(a.Pred)
+		if rel == nil {
+			return fmt.Errorf("eval: unknown relation %s", a.Pred)
+		}
+		if rel.Schema().Arity() != len(a.Args) {
+			return fmt.Errorf("eval: atom %s has %d arguments, relation has arity %d",
+				a.Pred, len(a.Args), rel.Schema().Arity())
+		}
+	}
+	e := &evaluator{db: db, q: q, fn: fn}
+	return e.run()
+}
+
+type evaluator struct {
+	db *storage.DB
+	q  *cq.Query
+	fn func(Binding, []Match) error
+}
+
+func (e *evaluator) run() error {
+	n := len(e.q.Atoms)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	// Greedy join order: repeatedly pick the atom with the most bound or
+	// constant argument positions; break ties toward smaller relations.
+	for len(order) < n {
+		best, bestScore, bestSize := -1, -1, 0
+		for i, a := range e.q.Atoms {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range a.Args {
+				if t.IsConst || (t.IsVar() && bound[t.Name]) {
+					score++
+				}
+			}
+			size := e.db.Relation(a.Pred).Len()
+			if score > bestScore || (score == bestScore && size < bestSize) {
+				best, bestScore, bestSize = i, score, size
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		for _, t := range e.q.Atoms[best].Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+	// Schedule each comparison at the earliest step where both sides are
+	// ground.
+	compAt := make([][]cq.Comparison, n+1)
+	for _, c := range e.q.Comps {
+		step := 0
+		need := func(t cq.Term) {
+			if !t.IsVar() {
+				return
+			}
+			for s, atomIdx := range order {
+				hasVar := false
+				for _, u := range e.q.Atoms[atomIdx].Args {
+					if u.IsVar() && u.Name == t.Name {
+						hasVar = true
+						break
+					}
+				}
+				if hasVar {
+					if s+1 > step {
+						step = s + 1
+					}
+					return
+				}
+			}
+			step = n // unbound anywhere: checked at the end (Validate prevents this)
+		}
+		need(c.L)
+		need(c.R)
+		compAt[step] = append(compAt[step], c)
+	}
+	binding := make(Binding)
+	matches := make([]Match, 0, n)
+	return e.step(0, order, compAt, binding, matches)
+}
+
+func (e *evaluator) step(depth int, order []int, compAt [][]cq.Comparison, b Binding, matches []Match) error {
+	for _, c := range compAt[depth] {
+		ok, err := evalComparison(c, b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	if depth == len(order) {
+		return e.fn(b, matches)
+	}
+	atomIdx := order[depth]
+	a := e.q.Atoms[atomIdx]
+	rel := e.db.Relation(a.Pred)
+
+	var lookupCols []int
+	var lookupVals []string
+	for i, t := range a.Args {
+		if t.IsConst {
+			lookupCols = append(lookupCols, i)
+			lookupVals = append(lookupVals, t.Value)
+		} else if v, ok := b[t.Name]; ok {
+			lookupCols = append(lookupCols, i)
+			lookupVals = append(lookupVals, v)
+		}
+	}
+	var iterErr error
+	iter := func(t storage.Tuple) bool {
+		// Bind free positions; repeated variables within the atom must
+		// agree.
+		var added []string
+		ok := true
+		for i, term := range a.Args {
+			if term.IsConst {
+				if t[i] != term.Value {
+					ok = false
+					break
+				}
+				continue
+			}
+			if v, bnd := b[term.Name]; bnd {
+				if t[i] != v {
+					ok = false
+					break
+				}
+				continue
+			}
+			b[term.Name] = t[i]
+			added = append(added, term.Name)
+		}
+		if ok {
+			matches = append(matches, Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t})
+			if err := e.step(depth+1, order, compAt, b, matches); err != nil {
+				iterErr = err
+			}
+			matches = matches[:len(matches)-1]
+		}
+		for _, name := range added {
+			delete(b, name)
+		}
+		return iterErr == nil
+	}
+	if len(lookupCols) > 0 {
+		rel.Lookup(lookupCols, lookupVals, iter)
+	} else {
+		rel.Scan(iter)
+	}
+	return iterErr
+}
+
+func evalComparison(c cq.Comparison, b Binding) (bool, error) {
+	ground := func(t cq.Term) (string, error) {
+		if t.IsConst {
+			return t.Value, nil
+		}
+		v, ok := b[t.Name]
+		if !ok {
+			return "", fmt.Errorf("eval: comparison variable %s unbound", t.Name)
+		}
+		return v, nil
+	}
+	l, err := ground(c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := ground(c.R)
+	if err != nil {
+		return false, err
+	}
+	return cq.CompareValues(l, c.Op, r), nil
+}
+
+func headCols(q *cq.Query) []string {
+	cols := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar() {
+			cols[i] = t.Name
+		} else {
+			cols[i] = t.Value
+		}
+	}
+	return cols
+}
+
+func headTuple(q *cq.Query, b Binding) (storage.Tuple, error) {
+	out := make(storage.Tuple, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsConst {
+			out[i] = t.Value
+			continue
+		}
+		v, ok := b[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("eval: head variable %s unbound", t.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Materialize evaluates a view definition and loads its output (head
+// columns) into a fresh relation named after the view inside the returned
+// database. Column names are the head labels.
+func Materialize(db *storage.DB, view *cq.Query) (*storage.Relation, error) {
+	res, err := Eval(db, view)
+	if err != nil {
+		return nil, err
+	}
+	s := storage.NewSchema()
+	cols := make([]storage.Column, len(res.Cols))
+	for i, c := range res.Cols {
+		cols[i] = storage.Column{Name: fmt.Sprintf("c%d_%s", i, c)}
+	}
+	name := view.Name
+	if name == "" {
+		name = "View"
+	}
+	if err := s.AddRelation(&storage.RelSchema{Name: name, Cols: cols}); err != nil {
+		return nil, err
+	}
+	vdb := storage.NewDB(s)
+	for _, t := range res.Tuples {
+		if err := vdb.Insert(name, t...); err != nil {
+			return nil, err
+		}
+	}
+	return vdb.Relation(name), nil
+}
+
+// DBFromFacts builds a database holding the given ground atoms, inferring a
+// schema (string columns c0..ck per predicate). It is used to evaluate
+// queries over canonical databases in tests and in the containment
+// cross-check.
+func DBFromFacts(facts []cq.Atom) (*storage.DB, error) {
+	s := storage.NewSchema()
+	arity := make(map[string]int)
+	for _, f := range facts {
+		if prev, ok := arity[f.Pred]; ok {
+			if prev != len(f.Args) {
+				return nil, fmt.Errorf("eval: predicate %s used with arities %d and %d", f.Pred, prev, len(f.Args))
+			}
+			continue
+		}
+		arity[f.Pred] = len(f.Args)
+		cols := make([]storage.Column, len(f.Args))
+		for i := range cols {
+			cols[i] = storage.Column{Name: fmt.Sprintf("c%d", i)}
+		}
+		if err := s.AddRelation(&storage.RelSchema{Name: f.Pred, Cols: cols}); err != nil {
+			return nil, err
+		}
+	}
+	db := storage.NewDB(s)
+	for _, f := range facts {
+		vals := make([]string, len(f.Args))
+		for i, t := range f.Args {
+			if !t.IsConst {
+				return nil, fmt.Errorf("eval: fact %v is not ground", f)
+			}
+			vals[i] = t.Value
+		}
+		if err := db.Insert(f.Pred, vals...); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,158 @@
+package format
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldKind discriminates the fields of a citation-function Spec.
+type FieldKind int
+
+// Field kinds.
+const (
+	// FScalar takes the field's value from a binding variable; all rows
+	// must agree (the first row wins, mirroring SQL's ANY_VALUE over a
+	// functionally-determined column).
+	FScalar FieldKind = iota
+	// FList collects the distinct values of a variable across rows, in
+	// first-appearance order.
+	FList
+	// FGroup partitions rows by a variable and renders the sub-spec once
+	// per group, producing a list of objects (the nested committee lists
+	// of the paper's V4/V5 citations).
+	FGroup
+	// FLiteral is a constant string.
+	FLiteral
+)
+
+// Field is one field of a Spec.
+type Field struct {
+	Key  string
+	Kind FieldKind
+	Var  string  // source variable (FScalar, FList) or group-by variable (FGroup)
+	Lit  string  // FLiteral payload
+	Sub  []Field // FGroup sub-spec
+}
+
+// Spec is a declarative citation function F_V: it shapes the rows returned
+// by the citation query C_V into a citation record.
+type Spec struct {
+	Fields []Field
+}
+
+// Render shapes rows (variable → value maps) into a record. Rendering is
+// deterministic: list and group orders follow first appearance in rows.
+func (s *Spec) Render(rows []map[string]string) (*Object, error) {
+	return renderFields(s.Fields, rows)
+}
+
+func renderFields(fields []Field, rows []map[string]string) (*Object, error) {
+	out := NewObject()
+	for _, f := range fields {
+		switch f.Kind {
+		case FLiteral:
+			out.Set(f.Key, S(f.Lit))
+		case FScalar:
+			for _, r := range rows {
+				if v, ok := r[f.Var]; ok {
+					out.Set(f.Key, S(v))
+					break
+				}
+			}
+		case FList:
+			var list []Value
+			seen := make(map[string]bool)
+			for _, r := range rows {
+				v, ok := r[f.Var]
+				if !ok || seen[v] {
+					continue
+				}
+				seen[v] = true
+				list = append(list, S(v))
+			}
+			if list == nil {
+				list = []Value{}
+			}
+			out.Set(f.Key, Value{Kind: KList, List: list})
+		case FGroup:
+			var order []string
+			groups := make(map[string][]map[string]string)
+			for _, r := range rows {
+				v, ok := r[f.Var]
+				if !ok {
+					continue
+				}
+				if _, seen := groups[v]; !seen {
+					order = append(order, v)
+				}
+				groups[v] = append(groups[v], r)
+			}
+			list := make([]Value, 0, len(order))
+			for _, g := range order {
+				obj, err := renderFields(f.Sub, groups[g])
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, O(obj))
+			}
+			out.Set(f.Key, Value{Kind: KList, List: list})
+		default:
+			return nil, fmt.Errorf("format: unknown field kind %d", f.Kind)
+		}
+	}
+	return out, nil
+}
+
+// Vars returns every variable the spec reads, sorted.
+func (s *Spec) Vars() []string {
+	seen := make(map[string]bool)
+	var walk func(fs []Field)
+	walk = func(fs []Field) {
+		for _, f := range fs {
+			if f.Var != "" {
+				seen[f.Var] = true
+			}
+			if len(f.Sub) > 0 {
+				walk(f.Sub)
+			}
+		}
+	}
+	walk(s.Fields)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the spec in the surface syntax accepted by the datalog
+// front end, e.g. { "ID": F, "Committee": [Pn] }.
+func (s *Spec) String() string {
+	var sb strings.Builder
+	writeSpec(&sb, s.Fields)
+	return sb.String()
+}
+
+func writeSpec(sb *strings.Builder, fields []Field) {
+	sb.WriteByte('{')
+	for i, f := range fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "%q: ", f.Key)
+		switch f.Kind {
+		case FLiteral:
+			fmt.Fprintf(sb, "%q", f.Lit)
+		case FScalar:
+			sb.WriteString(f.Var)
+		case FList:
+			sb.WriteString("[" + f.Var + "]")
+		case FGroup:
+			sb.WriteString("group(" + f.Var + ") ")
+			writeSpec(sb, f.Sub)
+		}
+	}
+	sb.WriteByte('}')
+}

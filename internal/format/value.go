@@ -1,0 +1,275 @@
+// Package format implements the citation-function layer F_V of the paper:
+// transforming citation-query results into citation records "in some desired
+// format, such as JSON or XML" (Definition 2.1), and the record combinators
+// that interpret the abstract operations ·, +, +R and Agg as union or join
+// of records (§3.3, Example 3.5).
+//
+// Records are modeled by Object — an insertion-ordered, deterministic
+// JSON-like object — so that citations render byte-identically across runs.
+package format
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KString ValueKind = iota
+	KList
+	KObject
+)
+
+// Value is a JSON-like value: a string, a list of values, or an object.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	List []Value
+	Obj  *Object
+}
+
+// S returns a string value.
+func S(s string) Value { return Value{Kind: KString, Str: s} }
+
+// L returns a list value.
+func L(vals ...Value) Value { return Value{Kind: KList, List: vals} }
+
+// O wraps an object as a value.
+func O(obj *Object) Value { return Value{Kind: KObject, Obj: obj} }
+
+// Key returns a canonical encoding of the value (objects by sorted keys), so
+// equal values collide regardless of construction order.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KString:
+		return "s" + strconv.Quote(v.Str)
+	case KList:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = e.Key()
+		}
+		return "l[" + strings.Join(parts, ",") + "]"
+	case KObject:
+		keys := append([]string(nil), v.Obj.keys...)
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = strconv.Quote(k) + ":" + v.Obj.vals[k].Key()
+		}
+		return "o{" + strings.Join(parts, ",") + "}"
+	}
+	return "?"
+}
+
+// Equal reports semantic equality (object key order ignored, list order
+// significant).
+func (v Value) Equal(u Value) bool { return v.Key() == u.Key() }
+
+// Clone returns a deep copy.
+func (v Value) Clone() Value {
+	switch v.Kind {
+	case KString:
+		return v
+	case KList:
+		out := make([]Value, len(v.List))
+		for i, e := range v.List {
+			out[i] = e.Clone()
+		}
+		return Value{Kind: KList, List: out}
+	case KObject:
+		return O(v.Obj.Clone())
+	}
+	return v
+}
+
+// Object is an insertion-ordered string-keyed record.
+type Object struct {
+	keys []string
+	vals map[string]Value
+}
+
+// NewObject returns an empty object.
+func NewObject() *Object {
+	return &Object{vals: make(map[string]Value)}
+}
+
+// Set stores a value under key, preserving the key's original position when
+// it already exists.
+func (o *Object) Set(key string, v Value) *Object {
+	if _, ok := o.vals[key]; !ok {
+		o.keys = append(o.keys, key)
+	}
+	o.vals[key] = v
+	return o
+}
+
+// Get returns the value under key.
+func (o *Object) Get(key string) (Value, bool) {
+	v, ok := o.vals[key]
+	return v, ok
+}
+
+// Keys returns keys in insertion order.
+func (o *Object) Keys() []string { return append([]string(nil), o.keys...) }
+
+// Len returns the number of keys.
+func (o *Object) Len() int { return len(o.keys) }
+
+// Clone returns a deep copy.
+func (o *Object) Clone() *Object {
+	out := NewObject()
+	for _, k := range o.keys {
+		out.Set(k, o.vals[k].Clone())
+	}
+	return out
+}
+
+// Equal reports semantic equality.
+func (o *Object) Equal(p *Object) bool { return O(o).Equal(O(p)) }
+
+// Key returns the canonical encoding of the object.
+func (o *Object) Key() string { return O(o).Key() }
+
+// JSON renders the value deterministically (insertion key order, proper
+// escaping).
+func (v Value) JSON() string {
+	var sb strings.Builder
+	writeJSON(&sb, v, -1, 0)
+	return sb.String()
+}
+
+// JSONIndent renders the value with newlines and the given indent width.
+func (v Value) JSONIndent(indent int) string {
+	var sb strings.Builder
+	writeJSON(&sb, v, indent, 0)
+	return sb.String()
+}
+
+// JSON renders the object deterministically.
+func (o *Object) JSON() string { return O(o).JSON() }
+
+// JSONIndent renders the object with indentation.
+func (o *Object) JSONIndent(indent int) string { return O(o).JSONIndent(indent) }
+
+func writeJSON(sb *strings.Builder, v Value, indent, depth int) {
+	pad := func(d int) {
+		if indent >= 0 {
+			sb.WriteByte('\n')
+			sb.WriteString(strings.Repeat(" ", indent*d))
+		}
+	}
+	switch v.Kind {
+	case KString:
+		sb.WriteString(strconv.Quote(v.Str))
+	case KList:
+		if len(v.List) == 0 {
+			sb.WriteString("[]")
+			return
+		}
+		sb.WriteByte('[')
+		for i, e := range v.List {
+			if i > 0 {
+				sb.WriteByte(',')
+				if indent < 0 {
+					sb.WriteByte(' ')
+				}
+			}
+			pad(depth + 1)
+			writeJSON(sb, e, indent, depth+1)
+		}
+		pad(depth)
+		sb.WriteByte(']')
+	case KObject:
+		if v.Obj == nil || len(v.Obj.keys) == 0 {
+			sb.WriteString("{}")
+			return
+		}
+		sb.WriteByte('{')
+		for i, k := range v.Obj.keys {
+			if i > 0 {
+				sb.WriteByte(',')
+				if indent < 0 {
+					sb.WriteByte(' ')
+				}
+			}
+			pad(depth + 1)
+			sb.WriteString(strconv.Quote(k))
+			sb.WriteString(": ")
+			writeJSON(sb, v.Obj.vals[k], indent, depth+1)
+		}
+		pad(depth)
+		sb.WriteByte('}')
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Record combinators (§3.3, Example 3.5).
+
+// UnionValues interprets an abstract combination as the union of records:
+// the operands are kept side by side in a deduplicated list. Lists are
+// flattened one level so unions nest associatively.
+func UnionValues(vals ...Value) Value {
+	var out []Value
+	seen := make(map[string]bool)
+	add := func(v Value) {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range vals {
+		if v.Kind == KList {
+			for _, e := range v.List {
+				add(e)
+			}
+			continue
+		}
+		add(v)
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return Value{Kind: KList, List: out}
+}
+
+// MergeObjects interprets an abstract combination as the join of records
+// (Example 3.5: "factors out common elements"): keys present in one operand
+// are kept; keys present in both are merged — equal values collapse, lists
+// union (preserving first-seen order), and conflicting scalars widen into a
+// list.
+func MergeObjects(a, b *Object) *Object {
+	out := a.Clone()
+	for _, k := range b.keys {
+		bv := b.vals[k]
+		av, ok := out.vals[k]
+		if !ok {
+			out.Set(k, bv.Clone())
+			continue
+		}
+		out.Set(k, mergeValues(av, bv))
+	}
+	return out
+}
+
+func mergeValues(a, b Value) Value {
+	if a.Equal(b) {
+		return a
+	}
+	if a.Kind == KObject && b.Kind == KObject {
+		return O(MergeObjects(a.Obj, b.Obj))
+	}
+	if a.Kind == KList || b.Kind == KList {
+		return UnionValues(a, b)
+	}
+	// Conflicting scalars (or scalar vs object) widen into a list.
+	return UnionValues(L(a), L(b))
+}
+
+// MergeValues joins two values: objects merge key-wise, everything else
+// unions.
+func MergeValues(a, b Value) Value { return mergeValues(a, b) }

@@ -1,0 +1,286 @@
+// Package gtopdb is the stand-in for the IUPHAR/BPS Guide to Pharmacology
+// (GtoPdb), the paper's running example. The real GtoPdb is a curated
+// PostgreSQL database behind a web hierarchy of family pages; the citation
+// model only depends on its schema, key structure and the citation views of
+// Example 2.1, all of which the paper states verbatim. This package provides
+//
+//   - the six-relation schema (Example 2.1),
+//   - the exact micro-instance used by the paper's worked examples
+//     (family 11 "Calcitonin", committee Hay/Poyner, …),
+//   - the paper's five citation views V1–V5 with citation queries CV1–CV5
+//     and JSON citation functions,
+//   - a deterministic, scalable synthetic generator for benchmarks.
+package gtopdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"citare/internal/core"
+	"citare/internal/datalog"
+	"citare/internal/format"
+	"citare/internal/storage"
+)
+
+// Schema returns the GtoPdb schema of Example 2.1 (keys underlined in the
+// paper):
+//
+//	Family(FID, FName, Type)
+//	FamilyIntro(FID, Text)
+//	Person(PID, PName, Affiliation)
+//	FC(FID, PID)   — family committee members
+//	FIC(FID, PID)  — family-introduction contributors
+//	MetaData(Type, Value)
+func Schema() *storage.Schema {
+	s := storage.NewSchema()
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "Family",
+		Cols: []storage.Column{{Name: "FID"}, {Name: "FName"}, {Name: "Type"}},
+		Key:  []string{"FID"},
+	})
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "FamilyIntro",
+		Cols: []storage.Column{{Name: "FID"}, {Name: "Text"}},
+		Key:  []string{"FID"},
+		ForeignKeys: []storage.ForeignKey{
+			{Cols: []string{"FID"}, RefRel: "Family", RefCols: []string{"FID"}},
+		},
+	})
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "Person",
+		Cols: []storage.Column{{Name: "PID"}, {Name: "PName"}, {Name: "Affiliation"}},
+		Key:  []string{"PID"},
+	})
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "FC",
+		Cols: []storage.Column{{Name: "FID"}, {Name: "PID"}},
+		Key:  []string{"FID", "PID"},
+		ForeignKeys: []storage.ForeignKey{
+			{Cols: []string{"FID"}, RefRel: "Family", RefCols: []string{"FID"}},
+			{Cols: []string{"PID"}, RefRel: "Person", RefCols: []string{"PID"}},
+		},
+	})
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "FIC",
+		Cols: []storage.Column{{Name: "FID"}, {Name: "PID"}},
+		Key:  []string{"FID", "PID"},
+		ForeignKeys: []storage.ForeignKey{
+			{Cols: []string{"FID"}, RefRel: "FamilyIntro", RefCols: []string{"FID"}},
+			{Cols: []string{"PID"}, RefRel: "Person", RefCols: []string{"PID"}},
+		},
+	})
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "MetaData",
+		Cols: []storage.Column{{Name: "Type"}, {Name: "Value"}},
+		Key:  []string{"Type"},
+	})
+	return s
+}
+
+// PaperInstance returns the micro-instance behind the paper's worked
+// examples: family 11 "Calcitonin" with committee Hay/Poyner and
+// introduction contributors Brown/Smith, family 12 "Calcium-sensing" with
+// committee Bilke/Conigrave/Shoback (Example 2.1), family 13 "b" with
+// introduction "Familyb" (Example 3.3), the gpcr family "Orexin", a non-gpcr
+// family, and the MetaData of Example 2.1.
+func PaperInstance() *storage.DB {
+	db := storage.NewDB(Schema())
+	db.MustInsert("Family", "11", "Calcitonin", "gpcr")
+	db.MustInsert("Family", "12", "Calcium-sensing", "gpcr")
+	db.MustInsert("Family", "13", "b", "gpcr")
+	db.MustInsert("Family", "14", "Orexin", "gpcr")
+	db.MustInsert("Family", "20", "P2X", "lgic")
+
+	db.MustInsert("FamilyIntro", "11", "The calcitonin peptide family")
+	db.MustInsert("FamilyIntro", "13", "Familyb")
+	db.MustInsert("FamilyIntro", "14", "Orexin receptors overview")
+	db.MustInsert("FamilyIntro", "20", "P2X receptors intro")
+
+	people := [][3]string{
+		{"p1", "Hay", "U. Auckland"},
+		{"p2", "Poyner", "Aston U."},
+		{"p3", "Brown", "U. Cambridge"},
+		{"p4", "Smith", "U. Edinburgh"},
+		{"p5", "Bilke", "Karolinska"},
+		{"p6", "Conigrave", "U. Sydney"},
+		{"p7", "Shoback", "UCSF"},
+		{"p8", "Alda", "Dalhousie U."},
+		{"p9", "Palmer", "U. Bristol"},
+		{"p10", "Kukkonen", "U. Helsinki"},
+		{"p11", "North", "U. Manchester"},
+		{"p12", "Davenport", "U. Cambridge"},
+	}
+	for _, p := range people {
+		db.MustInsert("Person", p[0], p[1], p[2])
+	}
+
+	// Committees (FC).
+	for _, fc := range [][2]string{
+		{"11", "p1"}, {"11", "p2"},
+		{"12", "p5"}, {"12", "p6"}, {"12", "p7"},
+		{"13", "p12"},
+		{"14", "p10"},
+		{"20", "p11"},
+	} {
+		db.MustInsert("FC", fc[0], fc[1])
+	}
+	// Introduction contributors (FIC).
+	for _, fic := range [][2]string{
+		{"11", "p3"}, {"11", "p4"},
+		{"13", "p12"},
+		{"14", "p8"}, {"14", "p9"},
+		{"20", "p11"},
+	} {
+		db.MustInsert("FIC", fic[0], fic[1])
+	}
+
+	db.MustInsert("MetaData", "Owner", "Tony Harmar")
+	db.MustInsert("MetaData", "URL", "guidetopharmacology.org")
+	db.MustInsert("MetaData", "Version", "23")
+	if err := db.CheckForeignKeys(); err != nil {
+		panic(err) // static data must be consistent
+	}
+	return db
+}
+
+// ViewsProgram is the paper's Example 2.1 in the datalog surface syntax:
+// five view definitions, their citation queries, and JSON citation
+// functions.
+const ViewsProgram = `
+# Example 2.1 of Davidson et al., CIDR 2017.
+view λF. V1(F, N, Ty) :- Family(F, N, Ty).
+cite V1 λF. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A).
+fmt  V1 { "ID": F, "Name": N, "Committee": [Pn] }.
+
+view λF. V2(F, Tx) :- FamilyIntro(F, Tx).
+cite V2 λF. CV2(F, N, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A).
+fmt  V2 { "ID": F, "Name": N, "Text": Tx, "Contributors": [Pn] }.
+
+view V3(F, N, Ty) :- Family(F, N, Ty).
+cite V3 CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", MetaData(T2, X2), T2 = "URL".
+fmt  V3 { "URL": X2, "Owner": X1 }.
+
+view λTy. V4(F, N, Ty) :- Family(F, N, Ty).
+cite V4 λTy. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A).
+fmt  V4 { "Type": Ty, "Contributors": group(N) { "Name": N, "Committee": [Pn] } }.
+
+view λTy. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx).
+cite V5 λTy. CV5(N, Ty, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A).
+fmt  V5 { "Type": Ty, "Contributors": group(N) { "Name": N, "Committee": [Pn] } }.
+`
+
+// PaperViews parses ViewsProgram into citation views.
+func PaperViews() ([]*core.CitationView, error) {
+	prog, err := datalog.ParseProgram(ViewsProgram)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromProgram(prog)
+}
+
+// MustPaperViews is PaperViews that panics on error (the program is a
+// compile-time constant).
+func MustPaperViews() []*core.CitationView {
+	vs, err := PaperViews()
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+// DatabaseCitation is the whole-database citation GtoPdb publishes as a
+// traditional paper (the NAR Database Issue reference the paper mentions);
+// used as the Agg neutral element.
+func DatabaseCitation() *format.Object {
+	return format.NewObject().
+		Set("Database", format.S("IUPHAR/BPS Guide to PHARMACOLOGY")).
+		Set("URL", format.S("guidetopharmacology.org")).
+		Set("Version", format.S("23")).
+		Set("Publication", format.S("Pawson et al., Nucleic Acids Research 42(D1), 2014"))
+}
+
+// Config parameterizes the synthetic generator.
+type Config struct {
+	// Seed drives all randomness (generation is deterministic per seed).
+	Seed int64
+	// Families is the number of families.
+	Families int
+	// Types is the number of family types (target classes).
+	Types int
+	// Persons is the size of the contributor pool.
+	Persons int
+	// CommitteeMin/CommitteeMax bound committee sizes per family.
+	CommitteeMin, CommitteeMax int
+	// IntroFraction in [0,1] is the fraction of families with a detailed
+	// introduction page (and its contributor list).
+	IntroFraction float64
+}
+
+// DefaultConfig mirrors GtoPdb's published scale (~900 families in release
+// 23-era, dozens of target classes) at a laptop-friendly size.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		Families:      900,
+		Types:         24,
+		Persons:       600,
+		CommitteeMin:  2,
+		CommitteeMax:  6,
+		IntroFraction: 0.6,
+	}
+}
+
+// Generate builds a synthetic GtoPdb instance.
+func Generate(cfg Config) *storage.DB {
+	if cfg.Families <= 0 {
+		cfg.Families = 1
+	}
+	if cfg.Types <= 0 {
+		cfg.Types = 1
+	}
+	if cfg.Persons <= 0 {
+		cfg.Persons = 1
+	}
+	if cfg.CommitteeMax < cfg.CommitteeMin {
+		cfg.CommitteeMax = cfg.CommitteeMin
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDB(Schema())
+	for p := 0; p < cfg.Persons; p++ {
+		db.MustInsert("Person",
+			fmt.Sprintf("p%04d", p),
+			fmt.Sprintf("Person-%04d", p),
+			fmt.Sprintf("Institute-%02d", p%37))
+	}
+	for f := 0; f < cfg.Families; f++ {
+		fid := fmt.Sprintf("%d", 100+f)
+		ty := fmt.Sprintf("type-%02d", r.Intn(cfg.Types))
+		db.MustInsert("Family", fid, fmt.Sprintf("Family-%04d", f), ty)
+		size := cfg.CommitteeMin
+		if cfg.CommitteeMax > cfg.CommitteeMin {
+			size += r.Intn(cfg.CommitteeMax - cfg.CommitteeMin + 1)
+		}
+		seen := make(map[int]bool)
+		for len(seen) < size && len(seen) < cfg.Persons {
+			seen[r.Intn(cfg.Persons)] = true
+		}
+		for p := range seen {
+			db.MustInsert("FC", fid, fmt.Sprintf("p%04d", p))
+		}
+		if r.Float64() < cfg.IntroFraction {
+			db.MustInsert("FamilyIntro", fid, fmt.Sprintf("Introduction text for family %s", fid))
+			nContrib := 1 + r.Intn(3)
+			cseen := make(map[int]bool)
+			for len(cseen) < nContrib && len(cseen) < cfg.Persons {
+				cseen[r.Intn(cfg.Persons)] = true
+			}
+			for p := range cseen {
+				db.MustInsert("FIC", fid, fmt.Sprintf("p%04d", p))
+			}
+		}
+	}
+	db.MustInsert("MetaData", "Owner", "Tony Harmar")
+	db.MustInsert("MetaData", "URL", "guidetopharmacology.org")
+	db.MustInsert("MetaData", "Version", "23")
+	return db
+}

@@ -1,0 +1,308 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"citare/internal/cq"
+	"citare/internal/eval"
+	"citare/internal/storage"
+)
+
+// checkLaws verifies the commutative-semiring axioms on random values.
+func checkLaws[T any](t *testing.T, sr Semiring[T], gen func(r *rand.Rand) T) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b, c := gen(r), gen(r), gen(r)
+		// + commutative/associative, 0 neutral.
+		if !sr.Equal(sr.Plus(a, b), sr.Plus(b, a)) {
+			return false
+		}
+		if !sr.Equal(sr.Plus(sr.Plus(a, b), c), sr.Plus(a, sr.Plus(b, c))) {
+			return false
+		}
+		if !sr.Equal(sr.Plus(a, sr.Zero()), a) {
+			return false
+		}
+		// · commutative/associative, 1 neutral, 0 annihilates.
+		if !sr.Equal(sr.Times(a, b), sr.Times(b, a)) {
+			return false
+		}
+		if !sr.Equal(sr.Times(sr.Times(a, b), c), sr.Times(a, sr.Times(b, c))) {
+			return false
+		}
+		if !sr.Equal(sr.Times(a, sr.One()), a) {
+			return false
+		}
+		if !sr.Equal(sr.Times(a, sr.Zero()), sr.Zero()) {
+			return false
+		}
+		// Distributivity.
+		lhs := sr.Times(a, sr.Plus(b, c))
+		rhs := sr.Plus(sr.Times(a, b), sr.Times(a, c))
+		return sr.Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatalf("%s semiring laws: %v", sr.Name(), err)
+	}
+}
+
+var tokenPool = []Token{"x", "y", "z", "w"}
+
+func genTokens(r *rand.Rand) []Token {
+	n := r.Intn(3)
+	out := make([]Token, n)
+	for i := range out {
+		out[i] = tokenPool[r.Intn(len(tokenPool))]
+	}
+	return out
+}
+
+func TestBoolSemiringLaws(t *testing.T) {
+	checkLaws[bool](t, BoolSemiring{}, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+}
+
+func TestNatSemiringLaws(t *testing.T) {
+	checkLaws[int](t, NatSemiring{}, func(r *rand.Rand) int { return r.Intn(5) })
+}
+
+func TestTropicalSemiringLaws(t *testing.T) {
+	checkLaws[TropVal](t, TropicalSemiring{}, func(r *rand.Rand) TropVal {
+		if r.Intn(5) == 0 {
+			return TropVal{Inf: true}
+		}
+		return TropVal{N: r.Intn(10)}
+	})
+}
+
+func TestLineageSemiringLaws(t *testing.T) {
+	checkLaws[Lineage](t, LineageSemiring{}, func(r *rand.Rand) Lineage {
+		if r.Intn(6) == 0 {
+			return Lineage{Bot: true}
+		}
+		return LineageOf(genTokens(r)...)
+	})
+}
+
+func TestWhySemiringLaws(t *testing.T) {
+	gen := func(r *rand.Rand) Witnesses {
+		n := r.Intn(3)
+		var ws [][]Token
+		for i := 0; i < n; i++ {
+			ws = append(ws, genTokens(r))
+		}
+		return WitnessesOf(ws...)
+	}
+	checkLaws[Witnesses](t, WhySemiring{}, gen)
+}
+
+func TestPosBoolSemiringLaws(t *testing.T) {
+	gen := func(r *rand.Rand) Witnesses {
+		n := r.Intn(3)
+		var ws [][]Token
+		for i := 0; i < n; i++ {
+			ws = append(ws, genTokens(r))
+		}
+		return minimize(WitnessesOf(ws...))
+	}
+	checkLaws[Witnesses](t, PosBoolSemiring{}, gen)
+	// Absorption: a + a·b = a.
+	sr := PosBoolSemiring{}
+	a := WitnessesOf([]Token{"x"})
+	ab := WitnessesOf([]Token{"x", "y"})
+	if !sr.Equal(sr.Plus(a, ab), a) {
+		t.Fatal("absorption a + ab = a violated")
+	}
+}
+
+func TestPolySemiringLaws(t *testing.T) {
+	gen := func(r *rand.Rand) Poly {
+		p := NewPoly()
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			p.Add(NewMonomial(genTokens(r)...), 1+r.Intn(2))
+		}
+		return p
+	}
+	checkLaws[Poly](t, PolySemiring{}, gen)
+}
+
+func TestMonomialBasics(t *testing.T) {
+	m := NewMonomial("x", "y", "x")
+	if m.Degree() != 3 || m.Exp("x") != 2 || m.Exp("y") != 1 {
+		t.Fatalf("bad multiset: %v", m)
+	}
+	if m.String() != "x^2·y" {
+		t.Fatalf("render: %s", m.String())
+	}
+	if m.Flatten().Degree() != 2 {
+		t.Fatal("flatten must clip exponents")
+	}
+	if MonomialOne().String() != "1" {
+		t.Fatal("unit renders as 1")
+	}
+}
+
+func TestPolyStringAndIdempotent(t *testing.T) {
+	p := NewPoly()
+	p.Add(NewMonomial("x", "y"), 2)
+	p.Add(NewMonomial("z"), 1)
+	if p.String() != "2·x·y + z" {
+		t.Fatalf("render: %s", p.String())
+	}
+	idem := p.Idempotent()
+	if idem.Coefficient(NewMonomial("x", "y")) != 1 {
+		t.Fatal("idempotent must clip coefficients")
+	}
+	if idem.NumMonomials() != 2 {
+		t.Fatalf("monomial count: %d", idem.NumMonomials())
+	}
+}
+
+func TestEvalPolyHomomorphism(t *testing.T) {
+	// (x + y)·z evaluated in ℕ with x=2, y=3, z=5 must equal 25.
+	p := PolyFromToken("x").Plus(PolyFromToken("y")).Times(PolyFromToken("z"))
+	vals := map[Token]int{"x": 2, "y": 3, "z": 5}
+	got := EvalPoly[int](p, NatSemiring{}, func(t Token) int { return vals[t] })
+	if got != 25 {
+		t.Fatalf("EvalPoly = %d, want 25", got)
+	}
+	// Homomorphism property on random polynomials:
+	// eval(p+q) = eval(p)+eval(q), eval(p·q) = eval(p)·eval(q).
+	r := rand.New(rand.NewSource(5))
+	gen := func() Poly {
+		p := NewPoly()
+		for i, n := 0, 1+r.Intn(2); i < n; i++ {
+			p.Add(NewMonomial(genTokens(r)...), 1+r.Intn(2))
+		}
+		return p
+	}
+	val := func(t Token) int { return int(t[0]) % 4 }
+	f := func() bool {
+		p, q := gen(), gen()
+		sr := NatSemiring{}
+		if EvalPoly[int](p.Plus(q), sr, val) != EvalPoly[int](p, sr, val)+EvalPoly[int](q, sr, val) {
+			return false
+		}
+		return EvalPoly[int](p.Times(q), sr, val) == EvalPoly[int](p, sr, val)*EvalPoly[int](q, sr, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func triangleDB(t *testing.T) *storage.DB {
+	t.Helper()
+	facts := []cq.Atom{
+		cq.NewAtom("R", cq.Const("a"), cq.Const("b")),
+		cq.NewAtom("R", cq.Const("a"), cq.Const("c")),
+		cq.NewAtom("S", cq.Const("b"), cq.Const("d")),
+		cq.NewAtom("S", cq.Const("c"), cq.Const("d")),
+	}
+	db, err := eval.DBFromFacts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPolyProvenanceTwoDerivations(t *testing.T) {
+	db := triangleDB(t)
+	// Q(X,W) :- R(X,Y), S(Y,W): (a,d) has two derivations.
+	q := &cq.Query{Name: "Q", Head: []cq.Term{cq.Var("X"), cq.Var("W")},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("X"), cq.Var("Y")),
+			cq.NewAtom("S", cq.Var("Y"), cq.Var("W")),
+		}}
+	anns, err := PolyProvenance(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 {
+		t.Fatalf("want 1 output tuple, got %v", anns)
+	}
+	p := anns[0].Value
+	if p.NumMonomials() != 2 {
+		t.Fatalf("want 2 derivations, got %s", p.String())
+	}
+	want := NewMonomial(TupleToken("R", storage.Tuple{"a", "b"}), TupleToken("S", storage.Tuple{"b", "d"}))
+	if p.Coefficient(want) != 1 {
+		t.Fatalf("derivation via b missing: %s", p.String())
+	}
+	// Counting semiring agrees with bag multiplicity (2).
+	n := EvalPoly[int](p, NatSemiring{}, func(Token) int { return 1 })
+	if n != 2 {
+		t.Fatalf("bag multiplicity via ℕ: got %d, want 2", n)
+	}
+	// Lineage collects all four tuples.
+	lin := EvalPoly[Lineage](p, LineageSemiring{}, func(tok Token) Lineage { return LineageOf(tok) })
+	if len(lin.Set) != 4 {
+		t.Fatalf("lineage size: got %d, want 4", len(lin.Set))
+	}
+	// Why-provenance has two witnesses of two tuples each.
+	why := EvalPoly[Witnesses](p, WhySemiring{}, func(tok Token) Witnesses { return WitnessesOf([]Token{tok}) })
+	if why.Len() != 2 {
+		t.Fatalf("why witnesses: got %d, want 2", why.Len())
+	}
+}
+
+func TestAnnotateUnion(t *testing.T) {
+	db := triangleDB(t)
+	q1 := &cq.Query{Name: "Q1", Head: []cq.Term{cq.Var("X")},
+		Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("X"), cq.Var("Y"))}}
+	q2 := &cq.Query{Name: "Q2", Head: []cq.Term{cq.Var("Y")},
+		Atoms: []cq.Atom{cq.NewAtom("S", cq.Var("X"), cq.Var("Y"))}}
+	anns, err := AnnotateUnion[Poly](db, []*cq.Query{q1, q2}, PolySemiring{}, func(rel string, tp storage.Tuple) Poly {
+		return PolyFromToken(TupleToken(rel, tp))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output: "a" (from q1, twice) and "d" (from q2, twice).
+	if len(anns) != 2 {
+		t.Fatalf("want 2 tuples, got %v", anns)
+	}
+	for _, a := range anns {
+		if a.Value.NumMonomials() != 2 {
+			t.Fatalf("tuple %v: want 2 alternative derivations, got %s", a.Tuple, a.Value.String())
+		}
+	}
+	// Arity mismatch must error.
+	bad := &cq.Query{Name: "B", Head: []cq.Term{cq.Var("X"), cq.Var("Y")},
+		Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("X"), cq.Var("Y"))}}
+	if _, err := AnnotateUnion[Poly](db, []*cq.Query{q1, bad}, PolySemiring{}, func(rel string, tp storage.Tuple) Poly {
+		return PolyFromToken(TupleToken(rel, tp))
+	}); err == nil {
+		t.Fatal("union arity mismatch accepted")
+	}
+}
+
+func TestProvenanceSpecializationCommutes(t *testing.T) {
+	// Computing in a concrete semiring directly must agree with computing
+	// the polynomial first and specializing (the fundamental property of
+	// ℕ[X] being free).
+	db := triangleDB(t)
+	q := &cq.Query{Name: "Q", Head: []cq.Term{cq.Var("X"), cq.Var("W")},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("X"), cq.Var("Y")),
+			cq.NewAtom("S", cq.Var("Y"), cq.Var("W")),
+		}}
+	direct, err := Annotate[int](db, q, NatSemiring{}, func(string, storage.Tuple) int { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys, err := PolyProvenance(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(polys) {
+		t.Fatal("result size mismatch")
+	}
+	for i := range direct {
+		viaPoly := EvalPoly[int](polys[i].Value, NatSemiring{}, func(Token) int { return 1 })
+		if direct[i].Value != viaPoly {
+			t.Fatalf("tuple %v: direct %d != specialized %d", direct[i].Tuple, direct[i].Value, viaPoly)
+		}
+	}
+}

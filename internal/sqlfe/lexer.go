@@ -1,0 +1,162 @@
+// Package sqlfe is the SQL front end: a handwritten lexer and parser for the
+// conjunctive SELECT–FROM–WHERE fragment (the class of "general queries" the
+// paper's model covers), translated into cq queries against a storage
+// schema.
+//
+// Supported surface:
+//
+//	SELECT [DISTINCT] cols | * FROM t [AS] a, u [AS] b [JOIN v [AS] c ON ...]
+//	[WHERE cond [AND cond]...]
+//
+// with conditions of the form col op col, col op 'literal', col op number
+// (op ∈ {=, !=, <>, <, <=, >, >=}). Identifiers are case-sensitive (they
+// name schema relations); keywords are case-insensitive. Set semantics is
+// assumed, matching the paper (DISTINCT is accepted and implied).
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tComma
+	tDot
+	tStar
+	tLParen
+	tRParen
+	tOp
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// Error is a SQL parse error with byte offset.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("sql: offset %d: %s", e.Pos, e.Msg) }
+
+func lex(src string) ([]token, error) {
+	var out []token
+	pos := 0
+	for pos < len(src) {
+		r, size := utf8.DecodeRuneInString(src[pos:])
+		switch {
+		case unicode.IsSpace(r):
+			pos += size
+		case r == ',':
+			out = append(out, token{tComma, ",", pos})
+			pos++
+		case r == '.':
+			out = append(out, token{tDot, ".", pos})
+			pos++
+		case r == '*':
+			out = append(out, token{tStar, "*", pos})
+			pos++
+		case r == '(':
+			out = append(out, token{tLParen, "(", pos})
+			pos++
+		case r == ')':
+			out = append(out, token{tRParen, ")", pos})
+			pos++
+		case r == '=':
+			out = append(out, token{tOp, "=", pos})
+			pos++
+		case r == '!':
+			if strings.HasPrefix(src[pos:], "!=") {
+				out = append(out, token{tOp, "!=", pos})
+				pos += 2
+			} else {
+				return nil, &Error{pos, "unexpected '!'"}
+			}
+		case r == '<':
+			switch {
+			case strings.HasPrefix(src[pos:], "<="):
+				out = append(out, token{tOp, "<=", pos})
+				pos += 2
+			case strings.HasPrefix(src[pos:], "<>"):
+				out = append(out, token{tOp, "!=", pos})
+				pos += 2
+			default:
+				out = append(out, token{tOp, "<", pos})
+				pos++
+			}
+		case r == '>':
+			if strings.HasPrefix(src[pos:], ">=") {
+				out = append(out, token{tOp, ">=", pos})
+				pos += 2
+			} else {
+				out = append(out, token{tOp, ">", pos})
+				pos++
+			}
+		case r == '\'':
+			start := pos
+			pos++
+			var sb strings.Builder
+			closed := false
+			for pos < len(src) {
+				r2, s2 := utf8.DecodeRuneInString(src[pos:])
+				pos += s2
+				if r2 == '\'' {
+					// '' escapes a quote inside the literal.
+					if pos < len(src) && src[pos] == '\'' {
+						sb.WriteByte('\'')
+						pos++
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteRune(r2)
+			}
+			if !closed {
+				return nil, &Error{start, "unterminated string literal"}
+			}
+			out = append(out, token{tString, sb.String(), start})
+		case unicode.IsDigit(r):
+			start := pos
+			for pos < len(src) {
+				r2, s2 := utf8.DecodeRuneInString(src[pos:])
+				if !unicode.IsDigit(r2) {
+					break
+				}
+				pos += s2
+			}
+			out = append(out, token{tNumber, src[start:pos], start})
+		case unicode.IsLetter(r) || r == '_':
+			start := pos
+			for pos < len(src) {
+				r2, s2 := utf8.DecodeRuneInString(src[pos:])
+				if !(unicode.IsLetter(r2) || unicode.IsDigit(r2) || r2 == '_') {
+					break
+				}
+				pos += s2
+			}
+			out = append(out, token{tIdent, src[start:pos], start})
+		default:
+			return nil, &Error{pos, fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	out = append(out, token{tEOF, "", len(src)})
+	return out, nil
+}
+
+// keyword reports whether tok is the given case-insensitive keyword.
+func keyword(tok token, kw string) bool {
+	return tok.kind == tIdent && strings.EqualFold(tok.text, kw)
+}

@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of a relation; values are strings (typed columns validate
+// on insert).
+type Tuple []string
+
+// Key encodes a tuple (or a projection of it) as a collision-free map key.
+func (t Tuple) Key() string { return encodeValues(t) }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// encodeValues length-prefixes each value, yielding a collision-free key
+// for arbitrary value contents.
+func encodeValues(vals []string) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&sb, "%d:", len(v))
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// Relation is a set of tuples with on-demand hash indexes.
+type Relation struct {
+	schema  *RelSchema
+	rows    []Tuple
+	present map[string]int        // tuple key -> row index (set semantics)
+	keyIdx  map[string]int        // primary-key projection -> row index
+	indexes map[string]*hashIndex // built on demand per column subset
+	deleted map[int]bool          // tombstones (compacted lazily)
+	nLive   int
+}
+
+func newRelation(rs *RelSchema) *Relation {
+	return &Relation{
+		schema:  rs,
+		present: make(map[string]int),
+		keyIdx:  make(map[string]int),
+		indexes: make(map[string]*hashIndex),
+		deleted: make(map[int]bool),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *RelSchema { return r.schema }
+
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return r.nLive }
+
+// project extracts the values of the given column positions.
+func project(t Tuple, cols []int) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+func (r *Relation) keyCols() []int {
+	cols := make([]int, len(r.schema.Key))
+	for i, k := range r.schema.Key {
+		cols[i] = r.schema.ColIndex(k)
+	}
+	return cols
+}
+
+// insert adds a tuple. Duplicate tuples are ignored (set semantics);
+// a different tuple with an existing primary key is an error.
+func (r *Relation) insert(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("storage: %s: arity %d, tuple has %d values", r.schema.Name, r.schema.Arity(), len(t))
+	}
+	for i, col := range r.schema.Cols {
+		if err := checkType(t[i], col.Type); err != nil {
+			return fmt.Errorf("%w (relation %s, column %s)", err, r.schema.Name, col.Name)
+		}
+	}
+	tk := t.Key()
+	if _, dup := r.present[tk]; dup {
+		return nil
+	}
+	if len(r.schema.Key) > 0 {
+		kk := encodeValues(project(t, r.keyCols()))
+		if prev, clash := r.keyIdx[kk]; clash && !r.deleted[prev] {
+			return fmt.Errorf("storage: %s: duplicate key %v", r.schema.Name, project(t, r.keyCols()))
+		}
+		r.keyIdx[kk] = len(r.rows)
+	}
+	r.present[tk] = len(r.rows)
+	r.rows = append(r.rows, t.Clone())
+	r.nLive++
+	// Invalidate indexes; rebuilt on demand.
+	r.indexes = make(map[string]*hashIndex)
+	return nil
+}
+
+// delete removes a tuple if present and reports whether it was.
+func (r *Relation) delete(t Tuple) bool {
+	idx, ok := r.present[t.Key()]
+	if !ok || r.deleted[idx] {
+		return false
+	}
+	r.deleted[idx] = true
+	delete(r.present, t.Key())
+	if len(r.schema.Key) > 0 {
+		delete(r.keyIdx, encodeValues(project(t, r.keyCols())))
+	}
+	r.nLive--
+	r.indexes = make(map[string]*hashIndex)
+	return true
+}
+
+// Scan calls fn for every live tuple. fn must not retain the tuple.
+func (r *Relation) Scan(fn func(t Tuple) bool) {
+	for i, t := range r.rows {
+		if r.deleted[i] {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns all live tuples in insertion order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, r.nLive)
+	r.Scan(func(t Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	idx, ok := r.present[t.Key()]
+	return ok && !r.deleted[idx]
+}
+
+// hashIndex maps a projection of column values to the row indexes holding it.
+type hashIndex struct {
+	cols []int
+	m    map[string][]int
+}
+
+func indexSig(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Index returns (building on demand) a hash index on the given column
+// positions.
+func (r *Relation) Index(cols []int) *hashIndex {
+	sig := indexSig(cols)
+	if idx, ok := r.indexes[sig]; ok {
+		return idx
+	}
+	idx := &hashIndex{cols: cols, m: make(map[string][]int)}
+	for i, t := range r.rows {
+		if r.deleted[i] {
+			continue
+		}
+		k := encodeValues(project(t, cols))
+		idx.m[k] = append(idx.m[k], i)
+	}
+	r.indexes[sig] = idx
+	return idx
+}
+
+// Lookup iterates the tuples whose projection on the index columns equals
+// vals.
+func (r *Relation) Lookup(cols []int, vals []string, fn func(t Tuple) bool) {
+	idx := r.Index(cols)
+	for _, rowID := range idx.m[encodeValues(vals)] {
+		if r.deleted[rowID] {
+			continue
+		}
+		if !fn(r.rows[rowID]) {
+			return
+		}
+	}
+}
+
+// DB is an in-memory relational database instance over a Schema.
+type DB struct {
+	schema *Schema
+	rels   map[string]*Relation
+}
+
+// NewDB creates an empty database over the schema.
+func NewDB(schema *Schema) *DB {
+	db := &DB{schema: schema, rels: make(map[string]*Relation)}
+	for _, rs := range schema.Relations() {
+		db.rels[rs.Name] = newRelation(rs)
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *Schema { return db.schema }
+
+// Relation returns the named relation, or nil.
+func (db *DB) Relation(name string) *Relation { return db.rels[name] }
+
+// Insert adds a tuple to the named relation.
+func (db *DB) Insert(rel string, vals ...string) error {
+	r := db.rels[rel]
+	if r == nil {
+		return fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	return r.insert(Tuple(vals))
+}
+
+// MustInsert is Insert that panics on error, for static test data.
+func (db *DB) MustInsert(rel string, vals ...string) {
+	if err := db.Insert(rel, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes a tuple from the named relation, reporting whether it was
+// present.
+func (db *DB) Delete(rel string, vals ...string) (bool, error) {
+	r := db.rels[rel]
+	if r == nil {
+		return false, fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	return r.delete(Tuple(vals)), nil
+}
+
+// CheckForeignKeys validates every foreign key over the current contents.
+func (db *DB) CheckForeignKeys() error {
+	for _, rs := range db.schema.Relations() {
+		rel := db.rels[rs.Name]
+		for _, fk := range rs.ForeignKeys {
+			target := db.rels[fk.RefRel]
+			if target == nil {
+				return fmt.Errorf("storage: FK of %s references unknown relation %s", rs.Name, fk.RefRel)
+			}
+			srcCols := make([]int, len(fk.Cols))
+			for i, cn := range fk.Cols {
+				srcCols[i] = rs.ColIndex(cn)
+			}
+			dstCols := make([]int, len(fk.RefCols))
+			for i, cn := range fk.RefCols {
+				dstCols[i] = target.schema.ColIndex(cn)
+			}
+			var violation error
+			rel.Scan(func(t Tuple) bool {
+				vals := project(t, srcCols)
+				found := false
+				target.Lookup(dstCols, vals, func(Tuple) bool {
+					found = true
+					return false
+				})
+				if !found {
+					violation = fmt.Errorf("storage: %s%v violates FK to %s", rs.Name, vals, fk.RefRel)
+					return false
+				}
+				return true
+			})
+			if violation != nil {
+				return violation
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the database.
+func (db *DB) Clone() *DB {
+	out := NewDB(db.schema)
+	for name, rel := range db.rels {
+		rel.Scan(func(t Tuple) bool {
+			if err := out.Insert(name, t...); err != nil {
+				panic(err) // cannot happen: same schema
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Stats returns per-relation live tuple counts, sorted by relation name.
+func (db *DB) Stats() []struct {
+	Name string
+	Rows int
+} {
+	out := make([]struct {
+		Name string
+		Rows int
+	}, 0, len(db.rels))
+	for name, rel := range db.rels {
+		out = append(out, struct {
+			Name string
+			Rows int
+		}{name, rel.Len()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VersionedDB implements the paper's §4 "fixity" requirement: data evolves
+// over time, and a citation must be able to bring back the data as seen when
+// it was cited. Rows are stored append-only with [From, To) version-validity
+// intervals; AsOf materializes the snapshot visible at any past version.
+//
+// Versions advance explicitly via Commit, so a batch of changes shares one
+// version number (mirroring a database release, e.g. GtoPdb "Version 23").
+type VersionedDB struct {
+	schema  *Schema
+	version uint64
+	rows    map[string][]vrow
+	// live indexes the currently-valid row of each tuple key per relation,
+	// keeping Insert/Delete O(1) instead of scanning history.
+	live map[string]map[string]int
+	// snapshots caches materialized AsOf databases.
+	snapshots map[uint64]*DB
+	labels    map[uint64]string
+}
+
+type vrow struct {
+	t    Tuple
+	from uint64
+	to   uint64 // 0 means still current
+}
+
+// NewVersionedDB creates an empty versioned database at version 1.
+func NewVersionedDB(schema *Schema) *VersionedDB {
+	v := &VersionedDB{
+		schema:    schema,
+		version:   1,
+		rows:      make(map[string][]vrow),
+		live:      make(map[string]map[string]int),
+		snapshots: make(map[uint64]*DB),
+		labels:    make(map[uint64]string),
+	}
+	return v
+}
+
+// Schema returns the database schema.
+func (v *VersionedDB) Schema() *Schema { return v.schema }
+
+// Version returns the current (uncommitted) version number.
+func (v *VersionedDB) Version() uint64 { return v.version }
+
+// Insert adds a tuple at the current version. Duplicate live tuples are
+// ignored.
+func (v *VersionedDB) Insert(rel string, vals ...string) error {
+	rs := v.schema.Relation(rel)
+	if rs == nil {
+		return fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	if len(vals) != rs.Arity() {
+		return fmt.Errorf("storage: %s: arity %d, tuple has %d values", rel, rs.Arity(), len(vals))
+	}
+	t := Tuple(vals)
+	if v.live[rel] == nil {
+		v.live[rel] = make(map[string]int)
+	}
+	if _, ok := v.live[rel][t.Key()]; ok {
+		return nil
+	}
+	v.live[rel][t.Key()] = len(v.rows[rel])
+	v.rows[rel] = append(v.rows[rel], vrow{t: t.Clone(), from: v.version})
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (v *VersionedDB) MustInsert(rel string, vals ...string) {
+	if err := v.Insert(rel, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Delete closes the validity interval of a live tuple at the current
+// version, reporting whether the tuple was live.
+func (v *VersionedDB) Delete(rel string, vals ...string) (bool, error) {
+	if v.schema.Relation(rel) == nil {
+		return false, fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	t := Tuple(vals)
+	idx, ok := v.live[rel][t.Key()]
+	if !ok {
+		return false, nil
+	}
+	v.rows[rel][idx].to = v.version
+	delete(v.live[rel], t.Key())
+	return true, nil
+}
+
+// Update deletes old and inserts new within the same version.
+func (v *VersionedDB) Update(rel string, old, new Tuple) error {
+	ok, err := v.Delete(rel, old...)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("storage: update of missing tuple in %s", rel)
+	}
+	return v.Insert(rel, new...)
+}
+
+// Commit freezes the current version under an optional label and advances to
+// the next. It returns the committed version number.
+func (v *VersionedDB) Commit(label string) uint64 {
+	committed := v.version
+	if label != "" {
+		v.labels[committed] = label
+	}
+	v.version++
+	return committed
+}
+
+// Label returns the label of a committed version, if any.
+func (v *VersionedDB) Label(version uint64) string { return v.labels[version] }
+
+// Versions lists committed version numbers in ascending order.
+func (v *VersionedDB) Versions() []uint64 {
+	var out []uint64
+	for ver := uint64(1); ver < v.version; ver++ {
+		out = append(out, ver)
+	}
+	return out
+}
+
+// AsOf materializes the database snapshot visible at the given version: all
+// rows with From ≤ version and (To == 0 or To > version). Snapshots are
+// cached; callers must not mutate them.
+func (v *VersionedDB) AsOf(version uint64) (*DB, error) {
+	if version == 0 || version > v.version {
+		return nil, fmt.Errorf("storage: version %d out of range [1,%d]", version, v.version)
+	}
+	if db, ok := v.snapshots[version]; ok && version < v.version {
+		return db, nil
+	}
+	db := NewDB(v.schema)
+	for rel, rows := range v.rows {
+		for _, row := range rows {
+			if row.from <= version && (row.to == 0 || row.to > version) {
+				if err := db.Insert(rel, row.t...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if version < v.version { // only completed versions are immutable
+		v.snapshots[version] = db
+	}
+	return db, nil
+}
+
+// Current materializes the working (uncommitted) state.
+func (v *VersionedDB) Current() *DB {
+	db, err := v.AsOf(v.version)
+	if err != nil {
+		panic(err) // current version is always in range
+	}
+	return db
+}
+
+// DiffEntry describes one tuple-level change between two versions.
+type DiffEntry struct {
+	Rel   string
+	Tuple Tuple
+	Added bool // true: present in b but not a; false: removed
+}
+
+// Diff lists tuples added or removed between versions a and b (a < b),
+// deterministically ordered.
+func (v *VersionedDB) Diff(a, b uint64) ([]DiffEntry, error) {
+	dbA, err := v.AsOf(a)
+	if err != nil {
+		return nil, err
+	}
+	dbB, err := v.AsOf(b)
+	if err != nil {
+		return nil, err
+	}
+	var out []DiffEntry
+	for _, rs := range v.schema.Relations() {
+		ra, rb := dbA.Relation(rs.Name), dbB.Relation(rs.Name)
+		rb.Scan(func(t Tuple) bool {
+			if !ra.Contains(t) {
+				out = append(out, DiffEntry{Rel: rs.Name, Tuple: t.Clone(), Added: true})
+			}
+			return true
+		})
+		ra.Scan(func(t Tuple) bool {
+			if !rb.Contains(t) {
+				out = append(out, DiffEntry{Rel: rs.Name, Tuple: t.Clone(), Added: false})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		if out[i].Added != out[j].Added {
+			return out[i].Added
+		}
+		return out[i].Tuple.Key() < out[j].Tuple.Key()
+	})
+	return out, nil
+}
