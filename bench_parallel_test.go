@@ -1,0 +1,148 @@
+package citare
+
+// B11–B13 — concurrency benchmarks for the parallel read path: parallel
+// binding enumeration speedup, shared-engine throughput under concurrent
+// Cite load (lock contention), and snapshot cost.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"citare/internal/eval"
+	"citare/internal/gtopdb"
+	"citare/internal/workload"
+)
+
+// B11 — parallel EvalBindings speedup over the sequential evaluator on the
+// gtopdb and chain workloads. workers=1 is the sequential baseline.
+func BenchmarkParallelEval(b *testing.B) {
+	workers := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workers = append(workers, p)
+	}
+
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 3000
+	gdb := gtopdb.Generate(cfg)
+	committee := workload.GtoPdbQueries()[2] // Family ⋈ FC ⋈ Person
+	cdb := workload.ChainDB(3, 1500, 64, 7)
+	chain := workload.ChainQuery(3)
+
+	for _, w := range workers {
+		w := w
+		b.Run(fmt.Sprintf("gtopdb-committee/workers=%d", w), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				res, err := eval.EvalOpts(gdb, committee, eval.Options{Parallel: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(res.Tuples)
+			}
+			b.ReportMetric(float64(n), "out-tuples")
+		})
+	}
+	for _, w := range workers {
+		w := w
+		b.Run(fmt.Sprintf("chain3/workers=%d", w), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				res, err := eval.EvalOpts(cdb, chain, eval.Options{Parallel: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(res.Tuples)
+			}
+			b.ReportMetric(float64(n), "out-tuples")
+		})
+	}
+}
+
+// B12 — shared-engine throughput under concurrent Cite load: one engine,
+// GOMAXPROCS client goroutines, mixed query set. Compares against the same
+// engine driven from a single goroutine to expose lock contention.
+func BenchmarkConcurrentCite(b *testing.B) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 400
+	db := gtopdb.Generate(cfg)
+	queries := []string{
+		`Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`,
+		`Q(N) :- Family(F, N, Ty), Ty = "type-02"`,
+		`Q(N, Pn) :- Family(F, N, Ty), FC(F, P), Person(P, Pn, A), Ty = "type-03"`,
+	}
+	for _, mode := range []string{"serial", "concurrent"} {
+		b.Run(mode, func(b *testing.B) {
+			c, err := NewFromProgram(db, gtopdb.ViewsProgram)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-materialize views so both modes measure steady state.
+			if _, err := c.CiteDatalog(queries[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if mode == "serial" {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.CiteDatalog(queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := c.CiteDatalog(queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// B12 (continued) — cached engine under the same concurrent load: after
+// warmup every request is a cache hit, measuring pure cache contention.
+func BenchmarkConcurrentCachedCite(b *testing.B) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 400
+	db := gtopdb.Generate(cfg)
+	base, err := NewFromProgram(db, gtopdb.ViewsProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCached(base)
+	query := `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`
+	if _, err := c.CiteDatalog(query); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.CiteDatalog(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// B13 — snapshot cost: taking a snapshot is O(relations), and the first
+// write after a snapshot pays the copy-on-write clone.
+func BenchmarkSnapshot(b *testing.B) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 2000
+	db := gtopdb.Generate(cfg)
+	b.Run("take", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = db.Snapshot()
+		}
+	})
+	b.Run("take+first-write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = db.Snapshot()
+			db.MustInsert("Family", fmt.Sprintf("s%d", i), "N", "type-01")
+		}
+	})
+}

@@ -1,12 +1,17 @@
 package citare
 
 import (
-	"sync"
+	"fmt"
+	"sync/atomic"
 
+	"citare/internal/cache"
 	"citare/internal/cq"
 	"citare/internal/datalog"
 	"citare/internal/sqlfe"
 )
+
+// citationCacheSize bounds the citation cache (sharded LRU, entries).
+const citationCacheSize = 4096
 
 // CachedCiter wraps a Citer with a citation cache, one of the paper's §4
 // directions ("caching and materialization"). Cache keys are the canonical
@@ -14,24 +19,25 @@ import (
 // query — reordered bodies, renamed variables, redundant atoms — hit the
 // same entry. That is safe precisely because citations are plan-independent
 // (the paper's note after Example 3.3): equivalent queries have equal
-// citations. CachedCiter is safe for concurrent use.
+// citations.
+//
+// CachedCiter is safe for concurrent use: entries live in a sharded LRU
+// whose shards lock independently, and concurrent misses on the same query
+// collapse into a single engine call (the engine itself is also safe for
+// concurrent use, so distinct queries compute in parallel).
 type CachedCiter struct {
-	citer *Citer
-
-	// computeMu serializes underlying engine calls: the engine lazily
-	// materializes views and caches rendered tokens, so it is not safe for
-	// concurrent use on its own.
-	computeMu sync.Mutex
-
-	mu      sync.Mutex
-	entries map[string]*Citation
-	hits    int
-	misses  int
+	citer   *Citer
+	entries *cache.Sharded[*Citation]
+	// epoch prefixes cache keys and advances on Invalidate, so a citation
+	// computed against the pre-Invalidate engine state can never be served
+	// afterwards, even if its computation was in flight across the
+	// invalidation.
+	epoch atomic.Uint64
 }
 
 // NewCached wraps a Citer with a citation cache.
 func NewCached(c *Citer) *CachedCiter {
-	return &CachedCiter{citer: c, entries: make(map[string]*Citation)}
+	return &CachedCiter{citer: c, entries: cache.NewSharded[*Citation](16, citationCacheSize)}
 }
 
 // CiteSQL parses and cites a SQL query through the cache.
@@ -58,35 +64,13 @@ func (c *CachedCiter) cite(q *cq.Query) (*Citation, error) {
 		// Unsatisfiable queries are cheap; skip the cache.
 		return c.citer.cite(q)
 	}
-	c.mu.Lock()
-	if hit, found := c.entries[key]; found {
-		c.hits++
-		c.mu.Unlock()
-		return hit, nil
-	}
-	c.mu.Unlock()
-
-	c.computeMu.Lock()
-	defer c.computeMu.Unlock()
-	// Re-check: a concurrent miss may have filled the entry while we
-	// waited for the compute lock.
-	c.mu.Lock()
-	if hit, found := c.entries[key]; found {
-		c.hits++
-		c.mu.Unlock()
-		return hit, nil
-	}
-	c.mu.Unlock()
-
-	res, err := c.citer.cite(q)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.entries[key] = res
-	c.misses++
-	c.mu.Unlock()
-	return res, nil
+	// Read the epoch before citing: a result computed against an older
+	// engine state then lands under an old-epoch key, invisible to readers
+	// of the new epoch.
+	key = fmt.Sprintf("%d|%s", c.epoch.Load(), key)
+	return c.entries.GetOrCompute(key, func() (*Citation, error) {
+		return c.citer.cite(q)
+	})
 }
 
 // cacheKey canonicalizes the query: normalize constants, minimize to the
@@ -99,18 +83,23 @@ func cacheKey(q *cq.Query) (string, bool) {
 	return cq.Minimize(norm).CanonicalKey(), true
 }
 
-// Stats reports cache hits and misses so far.
+// Stats reports cache hits and misses so far (callers that joined an
+// in-flight computation count as hits).
 func (c *CachedCiter) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	s := c.entries.Stats()
+	return int(s.Hits), int(s.Misses)
 }
 
-// Invalidate drops all cached citations and refreshes the underlying engine
-// (call after database updates).
+// Invalidate refreshes the underlying engine and drops all cached
+// citations (call after database updates). The engine resets first and the
+// epoch advances after, so any citation keyed under the new epoch was
+// necessarily computed against the refreshed engine state; stale in-flight
+// computations land under the old epoch and are never served again.
 func (c *CachedCiter) Invalidate() error {
-	c.mu.Lock()
-	c.entries = make(map[string]*Citation)
-	c.mu.Unlock()
-	return c.citer.Reset()
+	if err := c.citer.Reset(); err != nil {
+		return err
+	}
+	c.epoch.Add(1)
+	c.entries.Purge()
+	return nil
 }

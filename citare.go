@@ -21,6 +21,32 @@
 // internal/core (citation views, semiring, orders, policies), internal/
 // rewrite (answering queries using views) and internal/cq (conjunctive-query
 // reasoning).
+//
+// # Concurrency model
+//
+// Citations are generated on demand at query time, so the whole read path
+// is built to serve many queries at once:
+//
+//   - internal/storage: relations take per-relation RW locks and readers
+//     iterate immutable captured views, so concurrent Scans, Lookups and
+//     lazy index builds are race-free. DB.Snapshot returns an O(relations)
+//     immutable view shared copy-on-write with the live database; writers
+//     never invalidate in-flight snapshot readers.
+//   - internal/eval: eval.Options{Parallel: n} partitions the first atom of
+//     the greedy join order across n workers (opt-in, e.g.
+//     runtime.GOMAXPROCS(0)); the binding multiset and Eval's sorted output
+//     are identical to the sequential evaluation's.
+//   - internal/core: an Engine snapshots the database at construction and
+//     on Reset, scopes lazy view materialization to an epoch captured once
+//     per Cite, and caches rendered tokens in a sharded LRU — so a single
+//     Engine serves concurrent Cite calls, and Reset after updates never
+//     tears an in-flight citation.
+//   - Citer and CachedCiter are therefore safe for concurrent use;
+//     CachedCiter additionally collapses concurrent misses on equivalent
+//     queries into one engine call.
+//
+// After updating the database, call (*Citer).Reset or
+// (*CachedCiter).Invalidate to publish the new contents.
 package citare
 
 import (
@@ -54,6 +80,8 @@ const (
 )
 
 // Citer computes citations for queries against one database and view set.
+// It is safe for concurrent use; it cites against a snapshot taken at
+// construction, so call Reset to pick up later database updates.
 type Citer struct {
 	engine *core.Engine
 	schema *storage.Schema
@@ -66,6 +94,7 @@ type options struct {
 	policy    Policy
 	policySet bool
 	neutral   []*format.Object
+	parallel  int
 }
 
 // WithPolicy replaces the default policy.
@@ -83,6 +112,14 @@ func WithNeutralCitation(obj *format.Object) Option {
 	return func(o *options) { o.neutral = append(o.neutral, obj) }
 }
 
+// WithParallelEval evaluates queries and view materializations with n
+// workers (see eval.Options.Parallel). Useful for large databases; results
+// are identical to sequential evaluation. Values <= 1 keep evaluation
+// sequential.
+func WithParallelEval(n int) Option {
+	return func(o *options) { o.parallel = n }
+}
+
 // New assembles a Citer over a database and citation views.
 func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) {
 	var o options
@@ -98,6 +135,7 @@ func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) 
 	if err != nil {
 		return nil, err
 	}
+	engine.SetEvalParallelism(o.parallel)
 	return &Citer{engine: engine, schema: db.Schema()}, nil
 }
 

@@ -6,7 +6,12 @@
 //	POST /cite    {"sql": "...", "format": "json"}    → citation
 //	POST /cite    {"datalog": "...", "format": "xml"} → citation
 //	GET  /views                                        → the citation views
+//	GET  /stats                                        → citation-cache stats
 //	GET  /healthz                                      → ok
+//
+// All requests are served concurrently from one shared, cached citation
+// engine: the engine cites against an immutable database snapshot, and
+// equivalent concurrent queries collapse into a single computation.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 
 	"citare"
 	"citare/internal/gtopdb"
@@ -23,7 +29,7 @@ import (
 )
 
 type server struct {
-	citer        *citare.Citer
+	citer        *citare.CachedCiter
 	viewsProgram string
 }
 
@@ -98,11 +104,20 @@ func (s *server) handleViews(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, s.viewsProgram)
 }
 
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.citer.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(map[string]int{"hits": hits, "misses": misses}); err != nil {
+		log.Printf("citesrv: encode: %v", err)
+	}
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8437", "listen address")
 		dataDir   = flag.String("data", "", "directory of <Relation>.csv files (defaults to the paper instance)")
 		viewsPath = flag.String("views", "", "citation-views program file (defaults to the paper's views)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "binding-enumeration workers per query (<=1 sequential)")
 	)
 	flag.Parse()
 
@@ -122,14 +137,16 @@ func main() {
 		}
 	}
 	citer, err := citare.NewFromProgram(db, viewsProgram,
-		citare.WithNeutralCitation(gtopdb.DatabaseCitation()))
+		citare.WithNeutralCitation(gtopdb.DatabaseCitation()),
+		citare.WithParallelEval(*parallel))
 	if err != nil {
 		log.Fatalf("citesrv: %v", err)
 	}
-	s := &server{citer: citer, viewsProgram: viewsProgram}
+	s := &server{citer: citare.NewCached(citer), viewsProgram: viewsProgram}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cite", s.handleCite)
 	mux.HandleFunc("/views", s.handleViews)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

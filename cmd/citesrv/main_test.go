@@ -18,7 +18,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{citer: citer, viewsProgram: gtopdb.ViewsProgram}
+	return &server{citer: citare.NewCached(citer), viewsProgram: gtopdb.ViewsProgram}
 }
 
 func TestHandleCiteSQL(t *testing.T) {

@@ -1,0 +1,3 @@
+module citare
+
+go 1.24

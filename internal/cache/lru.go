@@ -1,0 +1,246 @@
+// Package cache provides a sharded, fixed-capacity LRU cache safe for
+// concurrent use. String keys are hashed onto independently locked shards,
+// so readers on different shards never contend; each shard evicts in
+// least-recently-used order. GetOrCompute collapses concurrent misses on
+// the same key into one computation (singleflight), which keeps expensive
+// fills — rendered citation tokens, whole citation results — from being
+// duplicated under load.
+package cache
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sharded is a concurrency-safe LRU cache split across 2^k shards.
+type Sharded[V any] struct {
+	shards []*shard[V]
+	mask   uint32
+}
+
+// Stats aggregates cache counters across shards. Counters accumulate for
+// the cache's lifetime; Purge does not reset them.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type entry[V any] struct {
+	key        string
+	val        V
+	prev, next *entry[V]
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[string]*entry[V]
+	inflight map[string]*call[V]
+	// Intrusive doubly-linked list, most recent at head.
+	head, tail *entry[V]
+	stats      Stats
+}
+
+// NewSharded creates a cache with the given shard count (rounded up to a
+// power of two, minimum 1) and total capacity split evenly across shards
+// (minimum 1 entry per shard).
+func NewSharded[V any](shards, capacity int) *Sharded[V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Sharded[V]{shards: make([]*shard[V], n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{
+			capacity: per,
+			m:        make(map[string]*entry[V]),
+			inflight: make(map[string]*call[V]),
+		}
+	}
+	return c
+}
+
+// fnv32a hashes the key (FNV-1a) for shard selection.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Sharded[V]) shard(key string) *shard[V] {
+	return c.shards[fnv32a(key)&c.mask]
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Sharded[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		s.moveToFront(e)
+		s.stats.Hits++
+		return e.val, true
+	}
+	s.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores the value for key, evicting the least recently used entry of
+// the key's shard when over capacity.
+func (c *Sharded[V]) Put(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(key, v)
+}
+
+// GetOrCompute returns the cached value for key, computing and caching it
+// on a miss. Concurrent callers missing on the same key share a single
+// computation: one runs compute, the rest block until it finishes. Errors
+// are returned to every waiter and are not cached. Waiters that join an
+// in-flight computation count as hits (they did not pay for a compute).
+func (c *Sharded[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.moveToFront(e)
+		s.stats.Hits++
+		v := e.val
+		s.mu.Unlock()
+		return v, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	// Unregister and release waiters even if compute panics: otherwise the
+	// key would be wedged forever with every waiter blocked on done.
+	finished := false
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if finished && cl.err == nil {
+			s.put(key, cl.val)
+		} else if !finished {
+			cl.err = errComputePanicked
+		}
+		s.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.val, cl.err = compute()
+	finished = true
+	return cl.val, cl.err
+}
+
+// errComputePanicked is handed to waiters whose leader's compute panicked;
+// the panic itself propagates on the leader's goroutine.
+var errComputePanicked = errors.New("cache: compute panicked")
+
+// Len returns the number of cached entries.
+func (c *Sharded[V]) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every cached entry. Counters are preserved and in-flight
+// computations complete normally (their results land in the purged cache).
+func (c *Sharded[V]) Purge() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.m = make(map[string]*entry[V])
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Stats sums counters across shards.
+func (c *Sharded[V]) Stats() Stats {
+	var out Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Evictions += s.stats.Evictions
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// put inserts or refreshes an entry. Caller holds s.mu.
+func (s *shard[V]) put(key string, v V) {
+	if e, ok := s.m[key]; ok {
+		e.val = v
+		s.moveToFront(e)
+		return
+	}
+	e := &entry[V]{key: key, val: v}
+	s.m[key] = e
+	s.pushFront(e)
+	if len(s.m) > s.capacity {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		s.stats.Evictions++
+	}
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[V]) moveToFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := NewSharded[int](4, 64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a: %v %v", v, ok)
+	}
+	c.Put("a", 3)
+	if v, _ := c.Get("a"); v != 3 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestEvictsLRUOrder(t *testing.T) {
+	// One shard with capacity 2 makes eviction order observable.
+	c := NewSharded[string](1, 2)
+	c.Put("a", "A")
+	c.Put("b", "B")
+	c.Get("a") // refresh a: b is now LRU
+	c.Put("c", "C")
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions %d", s.Evictions)
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := NewSharded[int](4, 64)
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrCompute("k", func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != 16 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := NewSharded[int](1, 4)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error cached")
+	}
+	v, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry: %v %v", v, err)
+	}
+}
+
+func TestPurgePreservesCounters(t *testing.T) {
+	c := NewSharded[int](2, 8)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("zzz")
+	before := c.Stats()
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("purge left entries")
+	}
+	if after := c.Stats(); after != before {
+		t.Fatalf("purge reset counters: %+v vs %+v", after, before)
+	}
+	c.Put("a", 2)
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Fatal("cache unusable after purge")
+	}
+}
+
+// TestConcurrentHitEvictStress hammers a small cache from many goroutines
+// with overlapping key ranges so hits, misses, evictions and singleflight
+// joins all interleave; run under -race.
+func TestConcurrentHitEvictStress(t *testing.T) {
+	c := NewSharded[int](4, 32) // far smaller than the key space: constant eviction
+	const goroutines = 16
+	const opsPer = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%100)
+				switch i % 3 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				case 2:
+					if v, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil || v < 0 {
+						t.Errorf("GetOrCompute: %v %v", v, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"citare/internal/cache"
 	"citare/internal/cq"
 	"citare/internal/eval"
 	"citare/internal/format"
@@ -16,30 +19,60 @@ import (
 // execution database, away from base relations.
 const viewRelPrefix = "__view_"
 
+// tokenCacheSize bounds the engine's rendered-token cache (sharded LRU).
+const tokenCacheSize = 4096
+
 // Engine computes citations for general queries over a database with a set
-// of citation views and a policy. An Engine snapshots nothing: it evaluates
-// against the database it was given, materializing view instances lazily and
-// caching them, so it should be rebuilt (or Reset) after database updates.
+// of citation views and a policy.
+//
+// Concurrency model: an Engine is safe for concurrent use. At construction
+// (and on every Reset) it takes an immutable storage snapshot and evaluates
+// all queries against it, so concurrent writers to the live database never
+// corrupt in-flight citations — they simply are not visible until Reset.
+// Lazy view materialization and the execution database live in an
+// epoch-scoped state captured once per Cite call; rendered citation tokens
+// are cached in a sharded LRU keyed by epoch. Reset swaps in a fresh state
+// atomically, leaving in-flight Cite calls to finish consistently against
+// the old epoch.
 type Engine struct {
-	db     *storage.DB
+	db     *storage.DB // live database handle, re-snapshotted on Reset
 	views  []*CitationView
 	byName map[string]*CitationView
 	policy Policy
 
-	execDB       *storage.DB
+	// parallel > 1 enables parallel binding enumeration for query and view
+	// evaluation. Set via SetEvalParallelism before concurrent use.
+	parallel int
+
+	tokenCache *cache.Sharded[*format.Object]
+
+	epochCtr atomic.Uint64 // allocates unique epochs across concurrent Resets
+
+	stateMu sync.RWMutex
+	state   *engineState
+}
+
+// engineState is one epoch of the engine: an immutable database snapshot
+// plus the execution database whose view relations fill in lazily. A Cite
+// call captures the state once and uses it throughout, so a concurrent
+// Reset can never tear a half-finished citation.
+type engineState struct {
+	epoch uint64
+	snap  *storage.DB // immutable snapshot all reads evaluate against
+	execDB *storage.DB
+
+	mu           sync.Mutex // guards materialized + view-relation fills
 	materialized map[string]bool
-	tokenCache   map[string]*format.Object
 }
 
 // NewEngine assembles an engine. View names must be unique.
 func NewEngine(db *storage.DB, views []*CitationView, policy Policy) (*Engine, error) {
 	e := &Engine{
-		db:           db,
-		views:        views,
-		byName:       make(map[string]*CitationView, len(views)),
-		policy:       policy,
-		materialized: make(map[string]bool),
-		tokenCache:   make(map[string]*format.Object),
+		db:         db,
+		views:      views,
+		byName:     make(map[string]*CitationView, len(views)),
+		policy:     policy,
+		tokenCache: cache.NewSharded[*format.Object](8, tokenCacheSize),
 	}
 	for _, v := range views {
 		if v == nil {
@@ -50,9 +83,11 @@ func NewEngine(db *storage.DB, views []*CitationView, policy Policy) (*Engine, e
 		}
 		e.byName[v.Name()] = v
 	}
-	if err := e.buildExecSchema(); err != nil {
+	st, err := e.buildState(0)
+	if err != nil {
 		return nil, err
 	}
+	e.state = st
 	return e, nil
 }
 
@@ -62,25 +97,55 @@ func (e *Engine) Views() []*CitationView { return e.views }
 // Policy returns the engine's policy.
 func (e *Engine) Policy() Policy { return e.policy }
 
-// DB returns the underlying database.
+// DB returns the underlying live database.
 func (e *Engine) DB() *storage.DB { return e.db }
 
-// Reset drops materialization and rendering caches (call after updating the
-// database).
-func (e *Engine) Reset() error {
-	e.materialized = make(map[string]bool)
-	e.tokenCache = make(map[string]*format.Object)
-	return e.buildExecSchema()
+// SetEvalParallelism sets the worker count for parallel binding enumeration
+// (values <= 1 evaluate sequentially). Call before sharing the engine
+// across goroutines; it is not synchronized with in-flight Cite calls.
+func (e *Engine) SetEvalParallelism(n int) { e.parallel = n }
+
+// evalOpts returns the evaluation options the engine runs queries with.
+func (e *Engine) evalOpts() eval.Options { return eval.Options{Parallel: e.parallel} }
+
+// curState returns the engine's current epoch state.
+func (e *Engine) curState() *engineState {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	return e.state
 }
 
-// buildExecSchema creates the execution database: every base relation plus
-// one (initially empty) relation per citation view.
-func (e *Engine) buildExecSchema() error {
+// Reset re-snapshots the database and drops materialization and rendering
+// caches (call after updating the database). In-flight Cite calls finish
+// against the previous snapshot. The O(data) rebuild happens outside the
+// state lock, so concurrent Cite calls keep serving the old epoch instead
+// of stalling behind the rebuild.
+func (e *Engine) Reset() error {
+	st, err := e.buildState(e.epochCtr.Add(1))
+	if err != nil {
+		return err
+	}
+	e.stateMu.Lock()
+	// Install only if newer: a slow concurrent Reset that allocated an
+	// earlier epoch must not overwrite a state that already superseded it.
+	if st.epoch > e.state.epoch {
+		e.state = st
+	}
+	e.stateMu.Unlock()
+	e.tokenCache.Purge()
+	return nil
+}
+
+// buildState snapshots the live database and creates the execution
+// database: every base relation plus one (initially empty) relation per
+// citation view.
+func (e *Engine) buildState(epoch uint64) (*engineState, error) {
+	snap := e.db.Snapshot()
 	s := storage.NewSchema()
-	for _, rs := range e.db.Schema().Relations() {
+	for _, rs := range snap.Schema().Relations() {
 		cols := append([]storage.Column(nil), rs.Cols...)
 		if err := s.AddRelation(&storage.RelSchema{Name: rs.Name, Cols: cols}); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for _, v := range e.views {
@@ -89,13 +154,13 @@ func (e *Engine) buildExecSchema() error {
 			cols[i] = storage.Column{Name: fmt.Sprintf("h%d", i)}
 		}
 		if err := s.AddRelation(&storage.RelSchema{Name: viewRelPrefix + v.Name(), Cols: cols}); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	exec := storage.NewDB(s)
-	for _, rs := range e.db.Schema().Relations() {
+	for _, rs := range snap.Schema().Relations() {
 		var ierr error
-		e.db.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+		snap.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
 			if err := exec.Insert(rs.Name, t...); err != nil {
 				ierr = err
 				return false
@@ -103,30 +168,39 @@ func (e *Engine) buildExecSchema() error {
 			return true
 		})
 		if ierr != nil {
-			return ierr
+			return nil, ierr
 		}
 	}
-	e.execDB = exec
-	return nil
+	return &engineState{
+		epoch:        epoch,
+		snap:         snap,
+		execDB:       exec,
+		materialized: make(map[string]bool),
+	}, nil
 }
 
-// materializeView evaluates the view definition into the execution database
-// once.
-func (e *Engine) materializeView(v *CitationView) error {
-	if e.materialized[v.Name()] {
+// materializeView evaluates the view definition into the state's execution
+// database once. The state lock serializes first-time materialization;
+// later readers see the filled relation without re-entering here (the flag
+// flips only after every tuple landed, and the lock's release/acquire pair
+// publishes the inserts).
+func (e *Engine) materializeView(st *engineState, v *CitationView) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.materialized[v.Name()] {
 		return nil
 	}
-	res, err := eval.Eval(e.db, v.Def)
+	res, err := eval.EvalOpts(st.snap, v.Def, e.evalOpts())
 	if err != nil {
 		return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
 	}
 	rel := viewRelPrefix + v.Name()
 	for _, t := range res.Tuples {
-		if err := e.execDB.Insert(rel, t...); err != nil {
+		if err := st.execDB.Insert(rel, t...); err != nil {
 			return err
 		}
 	}
-	e.materialized[v.Name()] = true
+	st.materialized[v.Name()] = true
 	return nil
 }
 
@@ -211,7 +285,8 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 
 	// Evaluate the query itself for the output tuples (independent of any
 	// rewriting, so even an un-rewritable query reports its answers).
-	out, err := eval.Eval(e.db, min)
+	st := e.curState()
+	out, err := eval.EvalOpts(st.snap, min, e.evalOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +299,7 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 	}
 
 	for _, r := range rewritings {
-		polys, err := e.rewritingPolys(r)
+		polys, err := e.rewritingPolys(st, r)
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +316,7 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 
 	for _, k := range order {
 		tc := perTuple[k]
-		e.combineTuple(tc)
+		e.combineTuple(st, tc)
 		res.Tuples = append(res.Tuples, *tc)
 	}
 	sort.Slice(res.Tuples, func(i, j int) bool {
@@ -292,7 +367,7 @@ func (e *Engine) citeUnsat(q *cq.Query) (*Result, error) {
 // Definition 3.2; each binding contributes the ·-product of its view tokens
 // (Definition 3.1) and, under Example 3.7's convention, C_R tokens for base
 // atoms.
-func (e *Engine) rewritingPolys(r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
+func (e *Engine) rewritingPolys(st *engineState, r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
 	// Translate the rewriting into a CQ over the execution database.
 	q := &cq.Query{Name: "RW", Head: append([]cq.Term(nil), r.Head...)}
 	type viewAtomInfo struct {
@@ -306,7 +381,7 @@ func (e *Engine) rewritingPolys(r *rewrite.Rewriting) (map[string]provenance.Pol
 		if v == nil {
 			return nil, fmt.Errorf("core: rewriting uses unknown view %s", va.View.Name)
 		}
-		if err := e.materializeView(v); err != nil {
+		if err := e.materializeView(st, v); err != nil {
 			return nil, err
 		}
 		pos, err := v.Def.ParamPositions()
@@ -323,7 +398,7 @@ func (e *Engine) rewritingPolys(r *rewrite.Rewriting) (map[string]provenance.Pol
 	q.Comps = append(q.Comps, r.Comps...)
 
 	polys := make(map[string]provenance.Poly)
-	err := eval.EvalBindings(e.execDB, q, func(b eval.Binding, matches []eval.Match) error {
+	err := eval.EvalBindingsOpts(st.execDB, q, e.evalOpts(), func(b eval.Binding, matches []eval.Match) error {
 		// Head tuple.
 		out := make(storage.Tuple, len(q.Head))
 		for i, t := range q.Head {
@@ -381,7 +456,7 @@ func (e *Engine) rewritingPolys(r *rewrite.Rewriting) (map[string]provenance.Pol
 // combineTuple applies +R across the tuple's rewriting polynomials: order
 // pruning keeps the maximal operands (§3.4), which are then summed into the
 // combined polynomial and rendered under the policy's interpretations.
-func (e *Engine) combineTuple(tc *TupleCitation) {
+func (e *Engine) combineTuple(st *engineState, tc *TupleCitation) {
 	ps := make([]provenance.Poly, len(tc.PerRewriting))
 	for i, rc := range tc.PerRewriting {
 		ps[i] = rc.Poly
@@ -396,19 +471,19 @@ func (e *Engine) combineTuple(tc *TupleCitation) {
 	}
 	combined = e.policy.Orders.NormalForm(combined)
 	tc.Combined = combined
-	tc.Rendered = e.renderTuple(tc)
+	tc.Rendered = e.renderTuple(st, tc)
 }
 
 // renderTuple renders a tuple's citation: per kept rewriting, monomials
 // render as ·-combinations of token citations and are +-combined; the kept
 // rewritings are +R-combined.
-func (e *Engine) renderTuple(tc *TupleCitation) format.Value {
+func (e *Engine) renderTuple(st *engineState, tc *TupleCitation) format.Value {
 	var perRewriting []format.Value
 	for _, i := range tc.Kept {
 		p := tc.PerRewriting[i].Poly
 		var monoVals []format.Value
 		for _, m := range p.Monomials() {
-			monoVals = append(monoVals, e.renderMonomial(m))
+			monoVals = append(monoVals, e.renderMonomial(st, m))
 		}
 		perRewriting = append(perRewriting, combine(e.policy.Plus, monoVals))
 	}
@@ -416,10 +491,10 @@ func (e *Engine) renderTuple(tc *TupleCitation) format.Value {
 }
 
 // renderMonomial renders the ·-combination of a monomial's token citations.
-func (e *Engine) renderMonomial(m provenance.Monomial) format.Value {
+func (e *Engine) renderMonomial(st *engineState, m provenance.Monomial) format.Value {
 	var vals []format.Value
 	for _, pt := range m.Support() {
-		obj := e.renderTokenCached(pt)
+		obj := e.renderTokenCached(st, pt)
 		for i := 0; i < m.Exp(pt); i++ {
 			vals = append(vals, format.O(obj))
 			break // citations are set-like: exponents do not repeat records
@@ -428,16 +503,18 @@ func (e *Engine) renderMonomial(m provenance.Monomial) format.Value {
 	return combine(e.policy.Times, vals)
 }
 
-func (e *Engine) renderTokenCached(pt provenance.Token) *format.Object {
-	if obj, ok := e.tokenCache[string(pt)]; ok {
-		return obj
-	}
-	obj := e.renderToken(pt)
-	e.tokenCache[string(pt)] = obj
+// renderTokenCached renders a token through the sharded LRU. Keys carry the
+// state epoch so a Cite racing a Reset can never serve a rendering from a
+// different snapshot.
+func (e *Engine) renderTokenCached(st *engineState, pt provenance.Token) *format.Object {
+	key := fmt.Sprintf("%d|%s", st.epoch, pt)
+	obj, _ := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
+		return e.renderToken(st, pt), nil
+	})
 	return obj
 }
 
-func (e *Engine) renderToken(pt provenance.Token) *format.Object {
+func (e *Engine) renderToken(st *engineState, pt provenance.Token) *format.Object {
 	tok, err := DecodeToken(pt)
 	if err != nil {
 		return format.NewObject().Set("InvalidToken", format.S(string(pt)))
@@ -449,7 +526,7 @@ func (e *Engine) renderToken(pt provenance.Token) *format.Object {
 	if v == nil {
 		return format.NewObject().Set("UnknownView", format.S(tok.Name))
 	}
-	obj, err := v.RenderToken(e.db, tok)
+	obj, err := v.RenderToken(st.snap, tok)
 	if err != nil {
 		return format.NewObject().
 			Set("View", format.S(tok.Name)).

@@ -2,9 +2,75 @@ package datalog
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// fuzzCorpus seeds FuzzParse with the shapes the test suite exercises:
+// paper examples, λ-views, comparisons, full view programs, and near-miss
+// garbage.
+var fuzzCorpus = []string{
+	`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx).`,
+	`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
+	`λF. V1(F, N, Ty) :- Family(F, N, Ty)`,
+	`lambda F. V1(F, N, Ty) :- Family(F, N, Ty)`,
+	`Q(X, Y) :- R(X, Z), S(Z, Y), X < Y, Z != "k"`,
+	`Q() :- R(X)`,
+	`Q(X) :-`,
+	`:- R(X)`,
+	`Q(X) :- R(X), X = `,
+	`Q("const") :- R(X)`,
+	`Q(X) :- R(X,`,
+	`Q(X) :- R((X))`,
+	"Q(X) :- R(\x00)",
+	`Q(💥) :- R(💥)`,
+	`Q(X) :- R(X), S(Y), T(Z), X = Y, Y = Z, Z = "v"`,
+	"view λF. V1(F, N, Ty) :- Family(F, N, Ty).\ncite V1 λF. CV1(F, N) :- Family(F, N, Ty).\nfmt  V1 { \"ID\": F, \"Names\": [N] }.",
+	`view λF. V1(F) :- Family(F, N, Ty`,
+	`fmt V1 { "ID": `,
+}
+
+// FuzzParse drives both parsers with arbitrary inputs: they must never
+// panic, and whatever they accept must survive basic use (Validate, String,
+// Clone) without panicking either.
+func FuzzParse(f *testing.F) {
+	for _, src := range fuzzCorpus {
+		f.Add(src)
+	}
+	f.Add(strings.Repeat(`Q(X) :- R(X), `, 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		if q, err := ParseQuery(src); err == nil {
+			_ = q.Validate()
+			_ = q.String()
+			_ = q.Clone()
+		}
+		if prog, err := ParseProgram(src); err == nil {
+			for _, v := range prog.Views {
+				_ = v.View.String()
+			}
+		}
+	})
+}
+
+// TestFuzzCorpusNoPanic pins the fuzz seed corpus deterministically so the
+// no-panic guarantee holds even when fuzzing is not run.
+func TestFuzzCorpusNoPanic(t *testing.T) {
+	for _, src := range fuzzCorpus {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Errorf("panic on %q: %v", src, rec)
+				}
+			}()
+			if q, err := ParseQuery(src); err == nil {
+				_ = q.Validate()
+				_ = q.String()
+			}
+			_, _ = ParseProgram(src)
+		}()
+	}
+}
 
 // TestParserNeverPanics drives the query and program parsers with random
 // byte soup and with mutated valid programs: they must return errors, never

@@ -53,12 +53,29 @@ func (r *Result) Contains(t storage.Tuple) bool {
 	return false
 }
 
+// Options tunes an evaluation.
+type Options struct {
+	// Parallel, when > 1, partitions the first atom of the join order
+	// across that many workers. The callback passed to EvalBindingsOpts is
+	// never invoked concurrently, but the order in which bindings arrive is
+	// unspecified; the binding multiset is identical to the sequential
+	// evaluation's. EvalOpts output is deterministic regardless.
+	// Values <= 1 evaluate sequentially.
+	Parallel int
+}
+
 // Eval evaluates q over db with set semantics. Output tuples are
 // deterministically sorted.
 func Eval(db *storage.DB, q *cq.Query) (*Result, error) {
+	return EvalOpts(db, q, Options{})
+}
+
+// EvalOpts is Eval with evaluation options. The result is deterministic —
+// identical for every Parallel setting.
+func EvalOpts(db *storage.DB, q *cq.Query, opts Options) (*Result, error) {
 	res := &Result{Cols: headCols(q)}
 	seen := make(map[string]bool)
-	err := EvalBindings(db, q, func(b Binding, _ []Match) error {
+	err := EvalBindingsOpts(db, q, opts, func(b Binding, _ []Match) error {
 		out, err := headTuple(q, b)
 		if err != nil {
 			return err
@@ -82,6 +99,14 @@ func Eval(db *storage.DB, q *cq.Query) (*Result, error) {
 // body over db, invoking fn with the binding and the matched base tuples.
 // Returning a non-nil error from fn aborts the enumeration.
 func EvalBindings(db *storage.DB, q *cq.Query, fn func(b Binding, matches []Match) error) error {
+	return EvalBindingsOpts(db, q, Options{}, fn)
+}
+
+// EvalBindingsOpts is EvalBindings with evaluation options. With
+// opts.Parallel > 1 the binding multiset is identical to the sequential
+// enumeration's but arrives in unspecified order; fn is still never invoked
+// concurrently, so it needs no internal locking.
+func EvalBindingsOpts(db *storage.DB, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
@@ -96,6 +121,9 @@ func EvalBindings(db *storage.DB, q *cq.Query, fn func(b Binding, matches []Matc
 		}
 	}
 	e := &evaluator{db: db, q: q, fn: fn}
+	if opts.Parallel > 1 && len(q.Atoms) > 0 {
+		return e.runParallel(opts.Parallel)
+	}
 	return e.run()
 }
 
@@ -106,8 +134,17 @@ type evaluator struct {
 }
 
 func (e *evaluator) run() error {
+	order, compAt := e.plan()
+	binding := make(Binding)
+	matches := make([]Match, 0, len(order))
+	return e.step(0, order, compAt, binding, matches)
+}
+
+// plan picks the join order and schedules comparisons; it is read-only on
+// the evaluator and its output is shared safely across parallel workers.
+func (e *evaluator) plan() (order []int, compAt [][]cq.Comparison) {
 	n := len(e.q.Atoms)
-	order := make([]int, 0, n)
+	order = make([]int, 0, n)
 	used := make([]bool, n)
 	bound := make(map[string]bool)
 	// Greedy join order: repeatedly pick the atom with the most bound or
@@ -139,7 +176,7 @@ func (e *evaluator) run() error {
 	}
 	// Schedule each comparison at the earliest step where both sides are
 	// ground.
-	compAt := make([][]cq.Comparison, n+1)
+	compAt = make([][]cq.Comparison, n+1)
 	for _, c := range e.q.Comps {
 		step := 0
 		need := func(t cq.Term) {
@@ -167,9 +204,31 @@ func (e *evaluator) run() error {
 		need(c.R)
 		compAt[step] = append(compAt[step], c)
 	}
-	binding := make(Binding)
-	matches := make([]Match, 0, n)
-	return e.step(0, order, compAt, binding, matches)
+	return order, compAt
+}
+
+// bindAtom binds a's free variable positions against tuple t in b, returning
+// the newly bound variable names and whether constants and already-bound
+// variables all agree. The caller must delete the added names when done (the
+// names are returned even on disagreement, for uniform cleanup).
+func bindAtom(a cq.Atom, t storage.Tuple, b Binding) (added []string, ok bool) {
+	for i, term := range a.Args {
+		if term.IsConst {
+			if t[i] != term.Value {
+				return added, false
+			}
+			continue
+		}
+		if v, bnd := b[term.Name]; bnd {
+			if t[i] != v {
+				return added, false
+			}
+			continue
+		}
+		b[term.Name] = t[i]
+		added = append(added, term.Name)
+	}
+	return added, true
 }
 
 func (e *evaluator) step(depth int, order []int, compAt [][]cq.Comparison, b Binding, matches []Match) error {
@@ -204,26 +263,7 @@ func (e *evaluator) step(depth int, order []int, compAt [][]cq.Comparison, b Bin
 	iter := func(t storage.Tuple) bool {
 		// Bind free positions; repeated variables within the atom must
 		// agree.
-		var added []string
-		ok := true
-		for i, term := range a.Args {
-			if term.IsConst {
-				if t[i] != term.Value {
-					ok = false
-					break
-				}
-				continue
-			}
-			if v, bnd := b[term.Name]; bnd {
-				if t[i] != v {
-					ok = false
-					break
-				}
-				continue
-			}
-			b[term.Name] = t[i]
-			added = append(added, term.Name)
-		}
+		added, ok := bindAtom(a, t, b)
 		if ok {
 			matches = append(matches, Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t})
 			if err := e.step(depth+1, order, compAt, b, matches); err != nil {

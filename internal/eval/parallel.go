@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"citare/internal/storage"
+)
+
+// errStopped signals workers that another worker already aborted the
+// enumeration; it never escapes to callers.
+var errStopped = errors.New("eval: enumeration stopped")
+
+// runParallel enumerates bindings by partitioning the first atom of the
+// greedy join order across a worker pool. Each worker owns a private
+// binding/match state and descends the remaining atoms sequentially, so the
+// union of worker enumerations is exactly the sequential binding multiset.
+// Calls to e.fn are serialized through a mutex: fn sees the same single-
+// threaded contract as in the sequential evaluator, only the arrival order
+// changes.
+func (e *evaluator) runParallel(workers int) error {
+	order, compAt := e.plan()
+
+	// Comparisons ground before the first atom (constant-only) gate the
+	// whole enumeration.
+	empty := make(Binding)
+	for _, c := range compAt[0] {
+		ok, err := evalComparison(c, empty)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+
+	// Collect the candidate tuples of the first atom. Only constants can be
+	// bound at depth 0, so the lookup columns are the constant positions.
+	atomIdx := order[0]
+	a := e.q.Atoms[atomIdx]
+	rel := e.db.Relation(a.Pred)
+	var lookupCols []int
+	var lookupVals []string
+	for i, t := range a.Args {
+		if t.IsConst {
+			lookupCols = append(lookupCols, i)
+			lookupVals = append(lookupVals, t.Value)
+		}
+	}
+	var cands []storage.Tuple
+	collect := func(t storage.Tuple) bool {
+		cands = append(cands, t)
+		return true
+	}
+	if len(lookupCols) > 0 {
+		rel.Lookup(lookupCols, lookupVals, collect)
+	} else {
+		rel.Scan(collect)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	var (
+		fnMu     sync.Mutex
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	abort := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	serialFn := func(b Binding, ms []Match) error {
+		fnMu.Lock()
+		defer fnMu.Unlock()
+		if stop.Load() {
+			return errStopped
+		}
+		if err := e.fn(b, ms); err != nil {
+			// Record and raise stop while still holding fnMu, so no other
+			// worker can deliver a binding to fn after it errored — the
+			// sequential abort contract ("fn is not called again") holds.
+			abort(err)
+			return err
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	chunk := (len(cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(cands))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []storage.Tuple) {
+			defer wg.Done()
+			we := &evaluator{db: e.db, q: e.q, fn: serialFn}
+			b := make(Binding)
+			matches := make([]Match, 1, len(order))
+			for _, t := range part {
+				if stop.Load() {
+					return
+				}
+				added, ok := bindAtom(a, t, b)
+				if ok {
+					matches[0] = Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t}
+					if err := we.step(1, order, compAt, b, matches); err != nil {
+						// fn errors were already recorded inside serialFn;
+						// anything else (e.g. a comparison error) aborts here.
+						if err != errStopped {
+							abort(err)
+						}
+						return
+					}
+				}
+				for _, name := range added {
+					delete(b, name)
+				}
+			}
+		}(cands[lo:hi])
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tuple is a row of a relation; values are strings (typed columns validate
@@ -32,14 +33,26 @@ func encodeValues(vals []string) string {
 }
 
 // Relation is a set of tuples with on-demand hash indexes.
+//
+// Concurrency model: a relation is safe for any mix of concurrent readers
+// and writers. Writers mutate under an exclusive lock; readers capture an
+// immutable view (row prefix + tombstone map) under a brief shared lock and
+// then iterate lock-free, so a long Scan or Lookup never blocks writers and
+// is never corrupted by them. Stored tuples are never mutated in place:
+// inserts only append, deletes only swap in a fresh tombstone map. A frozen
+// relation (see DB.Snapshot) additionally rejects all writes, making every
+// read against it repeatable.
 type Relation struct {
+	mu      sync.RWMutex
 	schema  *RelSchema
 	rows    []Tuple
 	present map[string]int        // tuple key -> row index (set semantics)
 	keyIdx  map[string]int        // primary-key projection -> row index
 	indexes map[string]*hashIndex // built on demand per column subset
-	deleted map[int]bool          // tombstones (compacted lazily)
+	deleted map[int]bool          // tombstones; copy-on-write, never mutated once shared
 	nLive   int
+	frozen  bool // snapshot view: writes are rejected
+	shared  bool // bookkeeping maps are shared with a snapshot; clone before writing
 }
 
 func newRelation(rs *RelSchema) *Relation {
@@ -52,11 +65,55 @@ func newRelation(rs *RelSchema) *Relation {
 	}
 }
 
+// snapshot returns a frozen view of the relation's current contents. It is
+// O(1): the row slice header and bookkeeping maps are shared, and the live
+// relation clones them before its next write (copy-on-write).
+func (r *Relation) snapshot() *Relation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shared = true
+	return &Relation{
+		schema:  r.schema,
+		rows:    r.rows[:len(r.rows):len(r.rows)],
+		present: r.present,
+		keyIdx:  r.keyIdx,
+		indexes: make(map[string]*hashIndex),
+		deleted: r.deleted,
+		nLive:   r.nLive,
+		frozen:  true,
+	}
+}
+
+// unshare clones bookkeeping maps shared with snapshots. Must hold r.mu.
+func (r *Relation) unshare() {
+	if !r.shared {
+		return
+	}
+	present := make(map[string]int, len(r.present))
+	for k, v := range r.present {
+		present[k] = v
+	}
+	r.present = present
+	keyIdx := make(map[string]int, len(r.keyIdx))
+	for k, v := range r.keyIdx {
+		keyIdx[k] = v
+	}
+	r.keyIdx = keyIdx
+	r.shared = false
+}
+
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *RelSchema { return r.schema }
 
 // Len returns the number of live tuples.
-func (r *Relation) Len() int { return r.nLive }
+func (r *Relation) Len() int {
+	if r.frozen {
+		return r.nLive
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nLive
+}
 
 // project extracts the values of the given column positions.
 func project(t Tuple, cols []int) []string {
@@ -78,6 +135,9 @@ func (r *Relation) keyCols() []int {
 // insert adds a tuple. Duplicate tuples are ignored (set semantics);
 // a different tuple with an existing primary key is an error.
 func (r *Relation) insert(t Tuple) error {
+	if r.frozen {
+		return fmt.Errorf("storage: %s: insert into read-only snapshot", r.schema.Name)
+	}
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("storage: %s: arity %d, tuple has %d values", r.schema.Name, r.schema.Arity(), len(t))
 	}
@@ -86,10 +146,13 @@ func (r *Relation) insert(t Tuple) error {
 			return fmt.Errorf("%w (relation %s, column %s)", err, r.schema.Name, col.Name)
 		}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	tk := t.Key()
 	if _, dup := r.present[tk]; dup {
 		return nil
 	}
+	r.unshare()
 	if len(r.schema.Key) > 0 {
 		kk := encodeValues(project(t, r.keyCols()))
 		if prev, clash := r.keyIdx[kk]; clash && !r.deleted[prev] {
@@ -100,31 +163,58 @@ func (r *Relation) insert(t Tuple) error {
 	r.present[tk] = len(r.rows)
 	r.rows = append(r.rows, t.Clone())
 	r.nLive++
-	// Invalidate indexes; rebuilt on demand.
+	// Invalidate indexes; rebuilt on demand. In-flight readers keep their
+	// captured (index, rows, tombstones) triple, which stays consistent.
 	r.indexes = make(map[string]*hashIndex)
 	return nil
 }
 
 // delete removes a tuple if present and reports whether it was.
-func (r *Relation) delete(t Tuple) bool {
+func (r *Relation) delete(t Tuple) (bool, error) {
+	if r.frozen {
+		return false, fmt.Errorf("storage: %s: delete from read-only snapshot", r.schema.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	idx, ok := r.present[t.Key()]
 	if !ok || r.deleted[idx] {
-		return false
+		return false, nil
 	}
-	r.deleted[idx] = true
+	r.unshare()
+	// Copy-on-write: lock-free readers may hold the old tombstone map.
+	deleted := make(map[int]bool, len(r.deleted)+1)
+	for k, v := range r.deleted {
+		deleted[k] = v
+	}
+	deleted[idx] = true
+	r.deleted = deleted
 	delete(r.present, t.Key())
 	if len(r.schema.Key) > 0 {
 		delete(r.keyIdx, encodeValues(project(t, r.keyCols())))
 	}
 	r.nLive--
 	r.indexes = make(map[string]*hashIndex)
-	return true
+	return true, nil
 }
 
-// Scan calls fn for every live tuple. fn must not retain the tuple.
+// view captures an immutable (rows, tombstones) pair for lock-free
+// iteration: the row prefix is append-only and the tombstone map is
+// replaced, never mutated, on delete.
+func (r *Relation) view() ([]Tuple, map[int]bool) {
+	if r.frozen {
+		return r.rows, r.deleted
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rows[:len(r.rows):len(r.rows)], r.deleted
+}
+
+// Scan calls fn for every live tuple. Stored tuples are immutable, so fn
+// may retain the tuple slice, but must never modify it.
 func (r *Relation) Scan(fn func(t Tuple) bool) {
-	for i, t := range r.rows {
-		if r.deleted[i] {
+	rows, deleted := r.view()
+	for i, t := range rows {
+		if deleted[i] {
 			continue
 		}
 		if !fn(t) {
@@ -135,7 +225,7 @@ func (r *Relation) Scan(fn func(t Tuple) bool) {
 
 // Tuples returns all live tuples in insertion order.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, r.nLive)
+	out := make([]Tuple, 0, r.Len())
 	r.Scan(func(t Tuple) bool {
 		out = append(out, t.Clone())
 		return true
@@ -145,11 +235,19 @@ func (r *Relation) Tuples() []Tuple {
 
 // Contains reports whether the tuple is present.
 func (r *Relation) Contains(t Tuple) bool {
+	if r.frozen {
+		idx, ok := r.present[t.Key()]
+		return ok && !r.deleted[idx]
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	idx, ok := r.present[t.Key()]
 	return ok && !r.deleted[idx]
 }
 
 // hashIndex maps a projection of column values to the row indexes holding it.
+// An index is immutable once published: writers drop the whole index set and
+// readers rebuild on demand.
 type hashIndex struct {
 	cols []int
 	m    map[string][]int
@@ -164,42 +262,70 @@ func indexSig(cols []int) string {
 }
 
 // Index returns (building on demand) a hash index on the given column
-// positions.
+// positions. Safe under concurrent Lookup: the build is double-checked under
+// the relation lock, so exactly one caller builds while others wait, and the
+// published index is never mutated afterwards.
 func (r *Relation) Index(cols []int) *hashIndex {
-	sig := indexSig(cols)
-	if idx, ok := r.indexes[sig]; ok {
-		return idx
-	}
-	idx := &hashIndex{cols: cols, m: make(map[string][]int)}
-	for i, t := range r.rows {
-		if r.deleted[i] {
-			continue
-		}
-		k := encodeValues(project(t, cols))
-		idx.m[k] = append(idx.m[k], i)
-	}
-	r.indexes[sig] = idx
+	idx, _, _ := r.indexAndView(cols)
 	return idx
+}
+
+// indexAndView captures a hash index together with the (rows, tombstones)
+// view it is consistent with, atomically under the relation lock. Writers
+// invalidate indexes and swap tombstones inside the same critical section,
+// so an index found in the map is exactly in sync with the state captured
+// alongside it — a Lookup can never pair a stale index with a newer view.
+func (r *Relation) indexAndView(cols []int) (*hashIndex, []Tuple, map[int]bool) {
+	sig := indexSig(cols)
+	r.mu.RLock()
+	if idx := r.indexes[sig]; idx != nil {
+		rows, deleted := r.rows[:len(r.rows):len(r.rows)], r.deleted
+		r.mu.RUnlock()
+		return idx, rows, deleted
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.indexes[sig]
+	if idx == nil {
+		idx = &hashIndex{cols: append([]int(nil), cols...), m: make(map[string][]int)}
+		for i, t := range r.rows {
+			if r.deleted[i] {
+				continue
+			}
+			k := encodeValues(project(t, cols))
+			idx.m[k] = append(idx.m[k], i)
+		}
+		r.indexes[sig] = idx
+	}
+	return idx, r.rows[:len(r.rows):len(r.rows)], r.deleted
 }
 
 // Lookup iterates the tuples whose projection on the index columns equals
 // vals.
 func (r *Relation) Lookup(cols []int, vals []string, fn func(t Tuple) bool) {
-	idx := r.Index(cols)
+	idx, rows, deleted := r.indexAndView(cols)
 	for _, rowID := range idx.m[encodeValues(vals)] {
-		if r.deleted[rowID] {
+		if deleted[rowID] {
 			continue
 		}
-		if !fn(r.rows[rowID]) {
+		if !fn(rows[rowID]) {
 			return
 		}
 	}
 }
 
 // DB is an in-memory relational database instance over a Schema.
+//
+// A DB is safe for concurrent use: relations take per-relation locks, so
+// readers and writers of different relations never contend. Reads against a
+// live DB observe some recent state but are not repeatable across writes;
+// callers that need a stable view across several reads (e.g. query
+// evaluation concurrent with updates) should evaluate against Snapshot().
 type DB struct {
 	schema *Schema
 	rels   map[string]*Relation
+	frozen bool
 }
 
 // NewDB creates an empty database over the schema.
@@ -210,6 +336,22 @@ func NewDB(schema *Schema) *DB {
 	}
 	return db
 }
+
+// Snapshot returns an immutable point-in-time view of the database. The
+// view is cheap — O(relations), not O(tuples): rows and bookkeeping maps
+// are shared copy-on-write with the live database, which clones them lazily
+// on its next write. Writers never invalidate in-flight snapshot readers,
+// and writes against the snapshot itself are rejected.
+func (db *DB) Snapshot() *DB {
+	out := &DB{schema: db.schema, rels: make(map[string]*Relation, len(db.rels)), frozen: true}
+	for name, r := range db.rels {
+		out.rels[name] = r.snapshot()
+	}
+	return out
+}
+
+// Frozen reports whether the database is a read-only snapshot.
+func (db *DB) Frozen() bool { return db.frozen }
 
 // Schema returns the database schema.
 func (db *DB) Schema() *Schema { return db.schema }
@@ -240,7 +382,7 @@ func (db *DB) Delete(rel string, vals ...string) (bool, error) {
 	if r == nil {
 		return false, fmt.Errorf("storage: unknown relation %s", rel)
 	}
-	return r.delete(Tuple(vals)), nil
+	return r.delete(Tuple(vals))
 }
 
 // CheckForeignKeys validates every foreign key over the current contents.
@@ -282,7 +424,8 @@ func (db *DB) CheckForeignKeys() error {
 	return nil
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep, mutable copy of the database (snapshots clone into
+// a writable DB).
 func (db *DB) Clone() *DB {
 	out := NewDB(db.schema)
 	for name, rel := range db.rels {
