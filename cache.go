@@ -90,6 +90,13 @@ func (c *CachedCiter) Stats() (hits, misses int) {
 	return int(s.Hits), int(s.Misses)
 }
 
+// CacheStats returns the aggregated hit/miss/evict counters across every
+// cache shard.
+func (c *CachedCiter) CacheStats() cache.Stats { return c.entries.Stats() }
+
+// CacheShardStats returns each cache shard's counters in shard order.
+func (c *CachedCiter) CacheShardStats() []cache.Stats { return c.entries.PerShard() }
+
 // Invalidate refreshes the underlying engine and drops all cached
 // citations (call after database updates). The engine resets first and the
 // epoch advances after, so any citation keyed under the new epoch was

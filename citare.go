@@ -36,6 +36,13 @@
 //     the greedy join order across n workers (opt-in, e.g.
 //     runtime.GOMAXPROCS(0)); the binding multiset and Eval's sorted output
 //     are identical to the sequential evaluation's.
+//   - internal/shard: a shard.DB hash-partitions every relation across N
+//     independent storage.DB shards (each with its own locks, indexes and
+//     snapshots). eval.EvalSharded scatter-gathers: the first join atom is
+//     partitioned by shard, shards that cannot match a bound shard key are
+//     skipped entirely, and results merge deterministically — byte-identical
+//     to unsharded evaluation. Build a sharded Citer with NewSharded /
+//     NewShardedFromProgram (see shard.FromDB to partition existing data).
 //   - internal/core: an Engine snapshots the database at construction and
 //     on Reset, scopes lazy view materialization to an epoch captured once
 //     per Cite, and caches rendered tokens in a sharded LRU — so a single
@@ -56,6 +63,7 @@ import (
 	"citare/internal/cq"
 	"citare/internal/datalog"
 	"citare/internal/format"
+	"citare/internal/shard"
 	"citare/internal/sqlfe"
 	"citare/internal/storage"
 )
@@ -120,8 +128,9 @@ func WithParallelEval(n int) Option {
 	return func(o *options) { o.parallel = n }
 }
 
-// New assembles a Citer over a database and citation views.
-func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) {
+// resolveOptions folds the option list into the effective policy and the
+// remaining knobs, shared by every Citer constructor.
+func resolveOptions(opts []Option) (Policy, options) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -131,6 +140,12 @@ func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) 
 		pol = o.policy
 	}
 	pol.Neutral = append(pol.Neutral, o.neutral...)
+	return pol, o
+}
+
+// New assembles a Citer over a database and citation views.
+func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) {
+	pol, o := resolveOptions(opts)
 	engine, err := core.NewEngine(db, views, pol)
 	if err != nil {
 		return nil, err
@@ -142,15 +157,44 @@ func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) 
 // NewFromProgram assembles a Citer from a citation-view program in the
 // datalog surface syntax (see internal/datalog and gtopdb.ViewsProgram).
 func NewFromProgram(db *storage.DB, viewsProgram string, opts ...Option) (*Citer, error) {
-	prog, err := datalog.ParseProgram(viewsProgram)
-	if err != nil {
-		return nil, err
-	}
-	views, err := core.FromProgram(prog)
+	views, err := viewsFromProgram(viewsProgram)
 	if err != nil {
 		return nil, err
 	}
 	return New(db, views, opts...)
+}
+
+// NewSharded assembles a Citer over a hash-partitioned database
+// (internal/shard): snapshots, view materialization and citation-query
+// evaluation fan out per shard and merge deterministically, so citations
+// are byte-identical to an unsharded Citer over the same data. Partition an
+// existing database with shard.FromDB, or populate a shard.New directly.
+func NewSharded(sdb *shard.DB, views []*CitationView, opts ...Option) (*Citer, error) {
+	pol, o := resolveOptions(opts)
+	engine, err := core.NewShardedEngine(sdb, views, pol)
+	if err != nil {
+		return nil, err
+	}
+	engine.SetEvalParallelism(o.parallel)
+	return &Citer{engine: engine, schema: sdb.Schema()}, nil
+}
+
+// NewShardedFromProgram is NewSharded from a citation-view program.
+func NewShardedFromProgram(sdb *shard.DB, viewsProgram string, opts ...Option) (*Citer, error) {
+	views, err := viewsFromProgram(viewsProgram)
+	if err != nil {
+		return nil, err
+	}
+	return NewSharded(sdb, views, opts...)
+}
+
+// viewsFromProgram parses a citation-view program into citation views.
+func viewsFromProgram(viewsProgram string) ([]*CitationView, error) {
+	prog, err := datalog.ParseProgram(viewsProgram)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromProgram(prog)
 }
 
 // Engine exposes the underlying citation engine for advanced use.

@@ -2,24 +2,29 @@
 // E-group (the paper's worked examples, printed with their outputs) and the
 // B-group (measured microbenchmarks for the §4 open problems).
 //
-//	citebench            # run everything
-//	citebench -exp E3    # one experiment
-//	citebench -quick     # fewer timing iterations
+//	citebench                     # run everything
+//	citebench -exp E3             # one experiment
+//	citebench -quick              # fewer timing iterations
+//	citebench -json BENCH_2.json  # machine-readable ns/op + allocs/op
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
 	"citare"
 	"citare/internal/core"
 	"citare/internal/cq"
 	"citare/internal/datalog"
+	"citare/internal/eval"
 	"citare/internal/gtopdb"
 	"citare/internal/rewrite"
+	"citare/internal/shard"
 	"citare/internal/storage"
 	"citare/internal/workload"
 )
@@ -27,9 +32,18 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B10)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B16)")
+	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
 	flag.BoolVar(&quick, "quick", false, "fewer timing iterations")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "citebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id   string
@@ -50,6 +64,9 @@ func main() {
 		{"B4", "citation size ablation (idempotence, orders)", runB4},
 		{"B9", "minimality checks vs raw covers", runB9},
 		{"B10", "versioned snapshots", runB10},
+		{"B14", "sharded snapshot cost vs shard count", runB14},
+		{"B15", "pruned point-lookup citations", runB15},
+		{"B16", "scatter-gather join throughput", runB16},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -419,4 +436,239 @@ func runB10() error {
 	fmt.Printf("   %d committed versions over 5000 rows; AsOf ≈ %s per snapshot (amortized, cached)\n",
 		len(versions), d.Round(time.Microsecond))
 	return nil
+}
+
+func runB14() error {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 2000
+	db := gtopdb.Generate(cfg)
+	fmt.Println("   | shards | snapshot | snapshot+first-write |")
+	fmt.Println("   |-------:|---------:|---------------------:|")
+	for _, n := range []int{1, 4, 8} {
+		sdb, err := shard.FromDB(db, n)
+		if err != nil {
+			return err
+		}
+		take, err := timed(200, func() error {
+			_ = sdb.Snapshot()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		i := 0
+		write, err := timed(50, func() error {
+			_ = sdb.Snapshot()
+			i++
+			return sdb.Insert("Family", fmt.Sprintf("w%d_%d", n, i), "N", "type-01")
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %6d | %8s | %20s |\n", n, take.Round(time.Microsecond), write.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runB15() error {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 1000
+	db := gtopdb.Generate(cfg)
+	const q = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = "500"`
+	fmt.Println("   | engine      | time/op |")
+	fmt.Println("   |-------------|--------:|")
+	run := func(name string, c *citare.Citer) error {
+		if _, err := c.CiteDatalog(q); err != nil { // materialize views once
+			return err
+		}
+		d, err := timed(50, func() error {
+			_, err := c.CiteDatalog(q)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %-11s | %7s |\n", name, d.Round(time.Microsecond))
+		return nil
+	}
+	c, err := citare.NewFromProgram(db, gtopdb.ViewsProgram)
+	if err != nil {
+		return err
+	}
+	if err := run("unsharded", c); err != nil {
+		return err
+	}
+	for _, n := range []int{4, 8} {
+		sdb, err := shard.FromDB(db, n)
+		if err != nil {
+			return err
+		}
+		sc, err := citare.NewShardedFromProgram(sdb, gtopdb.ViewsProgram)
+		if err != nil {
+			return err
+		}
+		if err := run(fmt.Sprintf("shards=%d", n), sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runB16() error {
+	db := workload.ChainDB(3, 1000, 64, 7)
+	q := workload.ChainQuery(3)
+	fmt.Println("   | engine      | out-tuples | time/op |")
+	fmt.Println("   |-------------|-----------:|--------:|")
+	var tuples int
+	d, err := timed(5, func() error {
+		res, err := eval.EvalOpts(db, q, eval.Options{})
+		if err == nil {
+			tuples = len(res.Tuples)
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   | %-11s | %10d | %7s |\n", "unsharded", tuples, d.Round(time.Millisecond))
+	for _, n := range []int{4, 8} {
+		sdb, err := shard.FromDB(db, n)
+		if err != nil {
+			return err
+		}
+		d, err := timed(5, func() error {
+			res, err := eval.EvalSharded(sdb, q, eval.Options{Parallel: n})
+			if err == nil {
+				tuples = len(res.Tuples)
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | shards=%-4d | %10d | %7s |\n", n, tuples, d.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// benchJSON is one benchmark's machine-readable result.
+type benchJSON struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// writeBenchJSON measures the recorded benchmark suite with
+// testing.Benchmark and writes the results as JSON, so every PR's perf
+// trajectory lands in a diffable BENCH_<pr>.json artifact.
+func writeBenchJSON(path string) error {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 500
+	gdb := gtopdb.Generate(cfg)
+	chainDB := workload.ChainDB(3, 600, 64, 7)
+	chainQ := workload.ChainQuery(3)
+	sdb4, err := shard.FromDB(gdb, 4)
+	if err != nil {
+		return err
+	}
+	chain4, err := shard.FromDB(chainDB, 4)
+	if err != nil {
+		return err
+	}
+	citer, err := citare.NewFromProgram(gdb, gtopdb.ViewsProgram)
+	if err != nil {
+		return err
+	}
+	shardedCiter, err := citare.NewShardedFromProgram(sdb4, gtopdb.ViewsProgram)
+	if err != nil {
+		return err
+	}
+	const pointQ = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = "250"`
+	const joinQ = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`
+	// Materialize views once so steady-state cost is measured.
+	if _, err := citer.CiteDatalog(pointQ); err != nil {
+		return err
+	}
+	if _, err := shardedCiter.CiteDatalog(pointQ); err != nil {
+		return err
+	}
+
+	mustCite := func(b *testing.B, c *citare.Citer, q string) {
+		if _, err := c.CiteDatalog(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"rewrite-enumeration/chain5-views12", func(b *testing.B) {
+			q := workload.ChainQuery(5)
+			views := workload.WindowViews(5, 12)
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.Enumerate(q, views, rewrite.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cite/gtopdb-join/families=500", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustCite(b, citer, joinQ)
+			}
+		}},
+		{"cite/point-lookup/unsharded/families=500", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustCite(b, citer, pointQ)
+			}
+		}},
+		{"cite/point-lookup/shards=4/families=500", func(b *testing.B) { // B15
+			for i := 0; i < b.N; i++ {
+				mustCite(b, shardedCiter, pointQ)
+			}
+		}},
+		{"snapshot/unsharded/families=500", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = gdb.Snapshot()
+			}
+		}},
+		{"snapshot/shards=4/families=500", func(b *testing.B) { // B14
+			for i := 0; i < b.N; i++ {
+				_ = sdb4.Snapshot()
+			}
+		}},
+		{"join/chain3-600/unsharded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.EvalOpts(chainDB, chainQ, eval.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"join/chain3-600/scatter-gather/shards=4", func(b *testing.B) { // B16
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.EvalSharded(chain4, chainQ, eval.Options{Parallel: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	out := make([]benchJSON, 0, len(suite))
+	for _, s := range suite {
+		r := testing.Benchmark(s.fn)
+		out = append(out, benchJSON{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("   %-40s %12.0f ns/op %10d allocs/op\n", s.name, out[len(out)-1].NsPerOp, out[len(out)-1].AllocsPerOp)
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

@@ -6,12 +6,15 @@
 //	POST /cite    {"sql": "...", "format": "json"}    → citation
 //	POST /cite    {"datalog": "...", "format": "xml"} → citation
 //	GET  /views                                        → the citation views
-//	GET  /stats                                        → citation-cache stats
+//	GET  /stats                                        → cache + shard stats
 //	GET  /healthz                                      → ok
 //
 // All requests are served concurrently from one shared, cached citation
 // engine: the engine cites against an immutable database snapshot, and
-// equivalent concurrent queries collapse into a single computation.
+// equivalent concurrent queries collapse into a single computation. With
+// -shards N > 1 the database is hash-partitioned and every request routes
+// through the sharded engine (scatter-gather evaluation with shard
+// pruning); citations are byte-identical to the unsharded engine's.
 package main
 
 import (
@@ -25,12 +28,14 @@ import (
 
 	"citare"
 	"citare/internal/gtopdb"
+	"citare/internal/shard"
 	"citare/internal/storage"
 )
 
 type server struct {
 	citer        *citare.CachedCiter
 	viewsProgram string
+	shards       int // engine shard count (1 = unsharded)
 }
 
 type citeRequest struct {
@@ -104,10 +109,32 @@ func (s *server) handleViews(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, s.viewsProgram)
 }
 
+// shardStats is one cache shard's (or the total's) counters on /stats.
+type shardStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+type statsResponse struct {
+	shardStats                // aggregated totals across cache shards
+	CacheShards  []shardStats `json:"cache_shards"`
+	EngineShards int          `json:"engine_shards"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	hits, misses := s.citer.Stats()
+	total := s.citer.CacheStats()
+	per := s.citer.CacheShardStats()
+	resp := statsResponse{
+		shardStats:   shardStats{Hits: total.Hits, Misses: total.Misses, Evictions: total.Evictions},
+		CacheShards:  make([]shardStats, len(per)),
+		EngineShards: s.shards,
+	}
+	for i, st := range per {
+		resp.CacheShards[i] = shardStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(map[string]int{"hits": hits, "misses": misses}); err != nil {
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("citesrv: encode: %v", err)
 	}
 }
@@ -118,6 +145,7 @@ func main() {
 		dataDir   = flag.String("data", "", "directory of <Relation>.csv files (defaults to the paper instance)")
 		viewsPath = flag.String("views", "", "citation-views program file (defaults to the paper's views)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "binding-enumeration workers per query (<=1 sequential)")
+		shards    = flag.Int("shards", 1, "hash-partition the database across N shards (<=1 unsharded)")
 	)
 	flag.Parse()
 
@@ -136,13 +164,31 @@ func main() {
 			log.Fatalf("citesrv: %v", err)
 		}
 	}
-	citer, err := citare.NewFromProgram(db, viewsProgram,
+	opts := []citare.Option{
 		citare.WithNeutralCitation(gtopdb.DatabaseCitation()),
-		citare.WithParallelEval(*parallel))
+		citare.WithParallelEval(*parallel),
+	}
+	var (
+		citer *citare.Citer
+		err   error
+	)
+	if *shards > 1 {
+		sdb, serr := shard.FromDB(db, *shards)
+		if serr != nil {
+			log.Fatalf("citesrv: %v", serr)
+		}
+		citer, err = citare.NewShardedFromProgram(sdb, viewsProgram, opts...)
+	} else {
+		*shards = 1
+		citer, err = citare.NewFromProgram(db, viewsProgram, opts...)
+	}
 	if err != nil {
 		log.Fatalf("citesrv: %v", err)
 	}
-	s := &server{citer: citare.NewCached(citer), viewsProgram: viewsProgram}
+	if *shards > 1 {
+		log.Printf("citesrv: database hash-partitioned across %d shards", *shards)
+	}
+	s := &server{citer: citare.NewCached(citer), viewsProgram: viewsProgram, shards: *shards}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cite", s.handleCite)
 	mux.HandleFunc("/views", s.handleViews)

@@ -9,6 +9,7 @@ import (
 
 	"citare"
 	"citare/internal/gtopdb"
+	"citare/internal/shard"
 )
 
 func testServer(t *testing.T) *server {
@@ -94,5 +95,82 @@ func TestHandleViews(t *testing.T) {
 	s.handleViews(w, req)
 	if !strings.Contains(w.Body.String(), "view λF. V1") {
 		t.Fatalf("views program missing: %s", w.Body.String()[:80])
+	}
+}
+
+func testShardedServer(t *testing.T, shards int) *server {
+	t.Helper()
+	sdb, err := shard.FromDB(gtopdb.PaperInstance(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	citer, err := citare.NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+		citare.WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{citer: citare.NewCached(citer), viewsProgram: gtopdb.ViewsProgram, shards: shards}
+}
+
+// TestShardedServerParity routes the same request through an unsharded and
+// a sharded server and requires byte-identical citation responses.
+func TestShardedServerParity(t *testing.T) {
+	body := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+	respond := func(s *server) string {
+		req := httptest.NewRequest(http.MethodPost, "/cite", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.handleCite(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		return w.Body.String()
+	}
+	want := respond(testServer(t))
+	for _, n := range []int{1, 4} {
+		if got := respond(testShardedServer(t, n)); got != want {
+			t.Fatalf("shards=%d response diverged:\n got %s\nwant %s", n, got, want)
+		}
+	}
+}
+
+// TestHandleStats checks per-shard and total cache counters plus the engine
+// shard count are exposed.
+func TestHandleStats(t *testing.T) {
+	s := testShardedServer(t, 4)
+	body := `{"datalog": "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\""}`
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/cite", strings.NewReader(body))
+		s.handleCite(httptest.NewRecorder(), req)
+	}
+	w := httptest.NewRecorder()
+	s.handleStats(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var resp struct {
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		CacheShards []struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache_shards"`
+		EngineShards int `json:"engine_shards"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("unmarshal %s: %v", w.Body.String(), err)
+	}
+	if resp.EngineShards != 4 {
+		t.Fatalf("engine_shards = %d, want 4", resp.EngineShards)
+	}
+	if resp.Hits != 1 || resp.Misses != 1 {
+		t.Fatalf("totals = %d hits / %d misses, want 1/1", resp.Hits, resp.Misses)
+	}
+	if len(resp.CacheShards) == 0 {
+		t.Fatal("cache_shards missing")
+	}
+	var h, m uint64
+	for _, sh := range resp.CacheShards {
+		h += sh.Hits
+		m += sh.Misses
+	}
+	if h != resp.Hits || m != resp.Misses {
+		t.Fatalf("per-shard sums (%d,%d) != totals (%d,%d)", h, m, resp.Hits, resp.Misses)
 	}
 }

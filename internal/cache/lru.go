@@ -180,6 +180,18 @@ func (c *Sharded[V]) Purge() {
 	}
 }
 
+// PerShard returns every shard's counters in shard order, for callers that
+// surface the cache's load distribution (e.g. the citesrv /stats endpoint).
+func (c *Sharded[V]) PerShard() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Stats sums counters across shards.
 func (c *Sharded[V]) Stats() Stats {
 	var out Stats

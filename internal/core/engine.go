@@ -12,6 +12,7 @@ import (
 	"citare/internal/format"
 	"citare/internal/provenance"
 	"citare/internal/rewrite"
+	"citare/internal/shard"
 	"citare/internal/storage"
 )
 
@@ -36,6 +37,7 @@ const tokenCacheSize = 4096
 // the old epoch.
 type Engine struct {
 	db     *storage.DB // live database handle, re-snapshotted on Reset
+	sdb    *shard.DB   // sharded mode: live partitioned database (db is nil)
 	views  []*CitationView
 	byName map[string]*CitationView
 	policy Policy
@@ -55,11 +57,17 @@ type Engine struct {
 // engineState is one epoch of the engine: an immutable database snapshot
 // plus the execution database whose view relations fill in lazily. A Cite
 // call captures the state once and uses it throughout, so a concurrent
-// Reset can never tear a half-finished citation.
+// Reset can never tear a half-finished citation. In sharded mode both the
+// snapshot and the execution database are hash-partitioned and every
+// evaluation scatter-gathers across shards.
 type engineState struct {
 	epoch uint64
-	snap  *storage.DB // immutable snapshot all reads evaluate against
-	execDB *storage.DB
+	snap  evalTarget // immutable snapshot all reads evaluate against
+	exec  evalTarget // execution database: base relations + view relations
+	// execIns inserts into the execution store (plain or sharded).
+	execIns interface {
+		Insert(rel string, vals ...string) error
+	}
 
 	mu           sync.Mutex // guards materialized + view-relation fills
 	materialized map[string]bool
@@ -67,8 +75,22 @@ type engineState struct {
 
 // NewEngine assembles an engine. View names must be unique.
 func NewEngine(db *storage.DB, views []*CitationView, policy Policy) (*Engine, error) {
+	return newEngine(db, nil, views, policy)
+}
+
+// NewShardedEngine assembles an engine over a hash-partitioned database:
+// snapshots are taken per shard, view materialization and citation-query
+// evaluation fan out per shard and merge deterministically, and the
+// execution database is partitioned the same way. Output is byte-identical
+// to an unsharded engine over the same data.
+func NewShardedEngine(sdb *shard.DB, views []*CitationView, policy Policy) (*Engine, error) {
+	return newEngine(nil, sdb, views, policy)
+}
+
+func newEngine(db *storage.DB, sdb *shard.DB, views []*CitationView, policy Policy) (*Engine, error) {
 	e := &Engine{
 		db:         db,
+		sdb:        sdb,
 		views:      views,
 		byName:     make(map[string]*CitationView, len(views)),
 		policy:     policy,
@@ -97,16 +119,28 @@ func (e *Engine) Views() []*CitationView { return e.views }
 // Policy returns the engine's policy.
 func (e *Engine) Policy() Policy { return e.policy }
 
-// DB returns the underlying live database.
+// DB returns the underlying live database (nil in sharded mode).
 func (e *Engine) DB() *storage.DB { return e.db }
+
+// ShardDB returns the underlying partitioned database (nil unless the
+// engine was built with NewShardedEngine).
+func (e *Engine) ShardDB() *shard.DB { return e.sdb }
 
 // SetEvalParallelism sets the worker count for parallel binding enumeration
 // (values <= 1 evaluate sequentially). Call before sharing the engine
 // across goroutines; it is not synchronized with in-flight Cite calls.
 func (e *Engine) SetEvalParallelism(n int) { e.parallel = n }
 
-// evalOpts returns the evaluation options the engine runs queries with.
-func (e *Engine) evalOpts() eval.Options { return eval.Options{Parallel: e.parallel} }
+// evalOpts returns the evaluation options the engine runs queries with. A
+// sharded engine with unset parallelism defaults to one worker per shard;
+// an explicit SetEvalParallelism(1) still forces sequential gathering.
+func (e *Engine) evalOpts() eval.Options {
+	p := e.parallel
+	if p == 0 && e.sdb != nil {
+		p = e.sdb.NumShards()
+	}
+	return eval.Options{Parallel: p}
+}
 
 // curState returns the engine's current epoch state.
 func (e *Engine) curState() *engineState {
@@ -138,13 +172,17 @@ func (e *Engine) Reset() error {
 
 // buildState snapshots the live database and creates the execution
 // database: every base relation plus one (initially empty) relation per
-// citation view.
+// citation view. In sharded mode the snapshot is taken per shard and the
+// execution database is partitioned the same way, so rewriting evaluation
+// scatter-gathers too.
 func (e *Engine) buildState(epoch uint64) (*engineState, error) {
-	snap := e.db.Snapshot()
+	schema := e.baseSchema()
 	s := storage.NewSchema()
-	for _, rs := range snap.Schema().Relations() {
+	for _, rs := range schema.Relations() {
 		cols := append([]storage.Column(nil), rs.Cols...)
-		if err := s.AddRelation(&storage.RelSchema{Name: rs.Name, Cols: cols}); err != nil {
+		// ShardKey carries over so sharded execution routes base tuples the
+		// same way the source does; primary keys are dropped on purpose.
+		if err := s.AddRelation(&storage.RelSchema{Name: rs.Name, Cols: cols, ShardKey: rs.ShardKey}); err != nil {
 			return nil, err
 		}
 	}
@@ -157,8 +195,33 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 			return nil, err
 		}
 	}
+
+	st := &engineState{epoch: epoch, materialized: make(map[string]bool)}
+	if e.sdb != nil {
+		snap := e.sdb.Snapshot()
+		exec := shard.New(s, e.sdb.NumShards())
+		for _, rs := range schema.Relations() {
+			var ierr error
+			snap.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+				if err := exec.Insert(rs.Name, t...); err != nil {
+					ierr = err
+					return false
+				}
+				return true
+			})
+			if ierr != nil {
+				return nil, ierr
+			}
+		}
+		st.snap = shardedTarget(snap)
+		st.exec = shardedTarget(exec)
+		st.execIns = exec
+		return st, nil
+	}
+
+	snap := e.db.Snapshot()
 	exec := storage.NewDB(s)
-	for _, rs := range snap.Schema().Relations() {
+	for _, rs := range schema.Relations() {
 		var ierr error
 		snap.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
 			if err := exec.Insert(rs.Name, t...); err != nil {
@@ -171,12 +234,18 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 			return nil, ierr
 		}
 	}
-	return &engineState{
-		epoch:        epoch,
-		snap:         snap,
-		execDB:       exec,
-		materialized: make(map[string]bool),
-	}, nil
+	st.snap = targetOf(snap)
+	st.exec = targetOf(exec)
+	st.execIns = exec
+	return st, nil
+}
+
+// baseSchema returns the schema of the engine's live store.
+func (e *Engine) baseSchema() *storage.Schema {
+	if e.sdb != nil {
+		return e.sdb.Schema()
+	}
+	return e.db.Schema()
 }
 
 // materializeView evaluates the view definition into the state's execution
@@ -190,13 +259,13 @@ func (e *Engine) materializeView(st *engineState, v *CitationView) error {
 	if st.materialized[v.Name()] {
 		return nil
 	}
-	res, err := eval.EvalOpts(st.snap, v.Def, e.evalOpts())
+	res, err := st.snap.eval(v.Def, e.evalOpts())
 	if err != nil {
 		return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
 	}
 	rel := viewRelPrefix + v.Name()
 	for _, t := range res.Tuples {
-		if err := st.execDB.Insert(rel, t...); err != nil {
+		if err := st.execIns.Insert(rel, t...); err != nil {
 			return err
 		}
 	}
@@ -286,7 +355,7 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 	// Evaluate the query itself for the output tuples (independent of any
 	// rewriting, so even an un-rewritable query reports its answers).
 	st := e.curState()
-	out, err := eval.EvalOpts(st.snap, min, e.evalOpts())
+	out, err := st.snap.eval(min, e.evalOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +467,7 @@ func (e *Engine) rewritingPolys(st *engineState, r *rewrite.Rewriting) (map[stri
 	q.Comps = append(q.Comps, r.Comps...)
 
 	polys := make(map[string]provenance.Poly)
-	err := eval.EvalBindingsOpts(st.execDB, q, e.evalOpts(), func(b eval.Binding, matches []eval.Match) error {
+	err := st.exec.evalBindings(q, e.evalOpts(), func(b eval.Binding, matches []eval.Match) error {
 		// Head tuple.
 		out := make(storage.Tuple, len(q.Head))
 		for i, t := range q.Head {
@@ -526,7 +595,7 @@ func (e *Engine) renderToken(st *engineState, pt provenance.Token) *format.Objec
 	if v == nil {
 		return format.NewObject().Set("UnknownView", format.S(tok.Name))
 	}
-	obj, err := v.RenderToken(st.snap, tok)
+	obj, err := v.renderTokenOn(st.snap, tok)
 	if err != nil {
 		return format.NewObject().
 			Set("View", format.S(tok.Name)).

@@ -1,0 +1,127 @@
+package core_test
+
+// Epoch-stability tests: a citation computed at epoch E reads the snapshot
+// taken at E and is unchanged by any later write — to the live database
+// (until Reset) or to the versioned store the epoch's database was
+// materialized from.
+
+import (
+	"fmt"
+	"testing"
+
+	"citare/internal/core"
+	"citare/internal/gtopdb"
+	"citare/internal/shard"
+	"citare/internal/storage"
+)
+
+// citeJSON cites a datalog query and renders the aggregated citation.
+func citeJSON(t *testing.T, e *core.Engine, src string) (rows int, citation string) {
+	t.Helper()
+	res, err := e.Cite(mustQuery(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(res.Tuples), res.Citation.JSON()
+}
+
+// TestEpochUnchangedByLaterWrites: reads at the engine's current epoch are
+// fixed until Reset publishes a new snapshot — for the plain and the
+// sharded engine alike.
+func TestEpochUnchangedByLaterWrites(t *testing.T) {
+	const q = `Q(N) :- Family(F, N, Ty), Ty = "gpcr"`
+	insert := map[string]func(vals ...string){}
+
+	engines := map[string]*core.Engine{}
+	{
+		db := gtopdb.PaperInstance()
+		e, err := core.NewEngine(db, gtopdb.MustPaperViews(), core.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines["plain"] = e
+		insert["plain"] = func(vals ...string) { db.MustInsert("Family", vals...) }
+	}
+	{
+		sdb, err := shard.FromDB(gtopdb.PaperInstance(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewShardedEngine(sdb, gtopdb.MustPaperViews(), core.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines["sharded"] = e
+		insert["sharded"] = func(vals ...string) { sdb.MustInsert("Family", vals...) }
+	}
+
+	for name, e := range engines {
+		t.Run(name, func(t *testing.T) {
+			rows0, cite0 := citeJSON(t, e, q)
+			insert[name]("901", "EpochFam", "gpcr")
+			rows1, cite1 := citeJSON(t, e, q)
+			if rows1 != rows0 || cite1 != cite0 {
+				t.Fatalf("epoch read changed before Reset: rows %d→%d", rows0, rows1)
+			}
+			if err := e.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			rows2, _ := citeJSON(t, e, q)
+			if rows2 != rows0+1 {
+				t.Fatalf("Reset did not publish the write: %d rows, want %d", rows2, rows0+1)
+			}
+		})
+	}
+}
+
+// TestVersionedEpochsAcrossEngines pins one engine per committed version of
+// a versioned store and checks each keeps citing its own version's data
+// while the store keeps evolving — the paper's §4 fixity requirement
+// carried through the engine's epoch machinery.
+func TestVersionedEpochsAcrossEngines(t *testing.T) {
+	v := storage.NewVersionedDB(gtopdb.Schema())
+	v.MustInsert("Family", "11", "Calcitonin", "gpcr")
+	v.MustInsert("FamilyIntro", "11", "intro-v1")
+	ver1 := v.Commit("release-1")
+	v.MustInsert("Family", "12", "Calcium", "gpcr")
+	v.MustInsert("FamilyIntro", "12", "intro-v2")
+	ver2 := v.Commit("release-2")
+
+	const q = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`
+	want := map[uint64]int{ver1: 1, ver2: 2}
+	engines := map[uint64]*core.Engine{}
+	for _, ver := range []uint64{ver1, ver2} {
+		db, err := v.AsOf(ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(db, gtopdb.MustPaperViews(), core.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[ver] = e
+	}
+
+	baseline := map[uint64]string{}
+	for ver, e := range engines {
+		rows, cite := citeJSON(t, e, q)
+		if rows != want[ver] {
+			t.Fatalf("version %d: %d rows, want %d", ver, rows, want[ver])
+		}
+		baseline[ver] = cite
+	}
+
+	// The store keeps evolving after the epochs were pinned.
+	for i := 0; i < 3; i++ {
+		v.MustInsert("Family", fmt.Sprint(100+i), "Later", "gpcr")
+		v.MustInsert("FamilyIntro", fmt.Sprint(100+i), "later-intro")
+		v.Commit("")
+	}
+
+	for ver, e := range engines {
+		rows, cite := citeJSON(t, e, q)
+		if rows != want[ver] || cite != baseline[ver] {
+			t.Fatalf("version %d drifted after later commits: %d rows", ver, rows)
+		}
+	}
+}

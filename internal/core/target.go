@@ -1,0 +1,40 @@
+package core
+
+import (
+	"citare/internal/cq"
+	"citare/internal/eval"
+	"citare/internal/storage"
+)
+
+// evalTarget couples a database view with its optional partitioned form:
+// engine queries scatter-gather across shards when the target is sharded
+// and evaluate plainly otherwise. Either way the results are deterministic
+// and identical, so everything downstream of evaluation is shared.
+type evalTarget struct {
+	view eval.DBView
+	part eval.Partitioned // non-nil: evaluate scatter-gather per shard
+}
+
+// targetOf wraps a plain storage database.
+func targetOf(db *storage.DB) evalTarget {
+	return evalTarget{view: eval.DBViewOf(db)}
+}
+
+// shardedTarget wraps a partitioned database.
+func shardedTarget(p eval.Partitioned) evalTarget {
+	return evalTarget{view: p, part: p}
+}
+
+func (t evalTarget) eval(q *cq.Query, opts eval.Options) (*eval.Result, error) {
+	if t.part != nil {
+		return eval.EvalSharded(t.part, q, opts)
+	}
+	return eval.EvalOn(t.view, q, opts)
+}
+
+func (t evalTarget) evalBindings(q *cq.Query, opts eval.Options, fn func(eval.Binding, []eval.Match) error) error {
+	if t.part != nil {
+		return eval.EvalBindingsSharded(t.part, q, opts, fn)
+	}
+	return eval.EvalBindingsOn(t.view, q, opts, fn)
+}

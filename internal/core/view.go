@@ -115,6 +115,17 @@ func instantiate(q *cq.Query, params []string) (*cq.Query, error) {
 // values, evaluated, and shaped by the citation function — F_V(C_V(a⃗)) in
 // the paper's notation. RelTokens render as a marker record.
 func (v *CitationView) RenderToken(db *storage.DB, tok Token) (*format.Object, error) {
+	return v.renderTokenOn(targetOf(db), tok)
+}
+
+// RenderTokenSharded is RenderToken against a hash-partitioned database:
+// the citation query evaluates scatter-gather with shard pruning, so a
+// λ-parameter binding the shard key touches a single shard.
+func (v *CitationView) RenderTokenSharded(p eval.Partitioned, tok Token) (*format.Object, error) {
+	return v.renderTokenOn(shardedTarget(p), tok)
+}
+
+func (v *CitationView) renderTokenOn(t evalTarget, tok Token) (*format.Object, error) {
 	if tok.Kind != ViewToken || tok.Name != v.Name() {
 		return nil, fmt.Errorf("core: token %s does not belong to view %s", tok, v.Name())
 	}
@@ -122,7 +133,7 @@ func (v *CitationView) RenderToken(db *storage.DB, tok Token) (*format.Object, e
 	if err != nil {
 		return nil, err
 	}
-	rows, err := citationRows(db, inst, v.CiteQ.Params, tok.Params)
+	rows, err := citationRows(t, inst, v.CiteQ.Params, tok.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -138,13 +149,13 @@ func (v *CitationView) RenderToken(db *storage.DB, tok Token) (*format.Object, e
 // "ID": F field of FV1). Rows are ordered by the citation query's head
 // values (so lists and groups render in C_V's output order), with the full
 // binding as a tiebreak.
-func citationRows(db *storage.DB, inst *cq.Query, paramNames, paramVals []string) ([]map[string]string, error) {
+func citationRows(t evalTarget, inst *cq.Query, paramNames, paramVals []string) ([]map[string]string, error) {
 	type sortedRow struct {
 		key string
 		row map[string]string
 	}
 	var rows []sortedRow
-	err := eval.EvalBindings(db, inst, func(b eval.Binding, _ []eval.Match) error {
+	err := t.evalBindings(inst, eval.Options{}, func(b eval.Binding, _ []eval.Match) error {
 		row := make(map[string]string, len(b)+len(paramNames))
 		for k, v := range b {
 			row[k] = v

@@ -53,6 +53,36 @@ func (r *Result) Contains(t storage.Tuple) bool {
 	return false
 }
 
+// RelView is the read surface the evaluator needs from a relation.
+// *storage.Relation satisfies it directly; internal/shard provides a
+// fan-out implementation spanning every shard of a partitioned relation.
+type RelView interface {
+	Schema() *storage.RelSchema
+	Len() int
+	Scan(fn func(t storage.Tuple) bool)
+	Lookup(cols []int, vals []string, fn func(t storage.Tuple) bool)
+}
+
+// DBView is the read surface the evaluator needs from a database: relation
+// lookup by name (nil for unknown relations).
+type DBView interface {
+	Relation(name string) RelView
+}
+
+// dbView adapts *storage.DB to DBView.
+type dbView struct{ db *storage.DB }
+
+func (d dbView) Relation(name string) RelView {
+	// Return an untyped nil for missing relations so callers' nil checks work.
+	if r := d.db.Relation(name); r != nil {
+		return r
+	}
+	return nil
+}
+
+// DBViewOf adapts a storage database to the evaluator's DBView interface.
+func DBViewOf(db *storage.DB) DBView { return dbView{db} }
+
 // Options tunes an evaluation.
 type Options struct {
 	// Parallel, when > 1, partitions the first atom of the join order
@@ -73,9 +103,39 @@ func Eval(db *storage.DB, q *cq.Query) (*Result, error) {
 // EvalOpts is Eval with evaluation options. The result is deterministic —
 // identical for every Parallel setting.
 func EvalOpts(db *storage.DB, q *cq.Query, opts Options) (*Result, error) {
+	return EvalOn(DBViewOf(db), q, opts)
+}
+
+// EvalBindings enumerates every binding of q's variables that satisfies the
+// body over db, invoking fn with the binding and the matched base tuples.
+// Returning a non-nil error from fn aborts the enumeration.
+func EvalBindings(db *storage.DB, q *cq.Query, fn func(b Binding, matches []Match) error) error {
+	return EvalBindingsOpts(db, q, Options{}, fn)
+}
+
+// EvalBindingsOpts is EvalBindings with evaluation options. With
+// opts.Parallel > 1 the binding multiset is identical to the sequential
+// enumeration's but arrives in unspecified order; fn is still never invoked
+// concurrently, so it needs no internal locking.
+func EvalBindingsOpts(db *storage.DB, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
+	return EvalBindingsOn(DBViewOf(db), q, opts, fn)
+}
+
+// EvalOn is EvalOpts over any DBView (e.g. a sharded union view).
+func EvalOn(dbv DBView, q *cq.Query, opts Options) (*Result, error) {
+	return gather(q, func(fn func(Binding, []Match) error) error {
+		return EvalBindingsOn(dbv, q, opts, fn)
+	})
+}
+
+// gather runs a bindings enumerator with set semantics: head tuples are
+// deduplicated and sorted by their collision-free key, so every evaluation
+// strategy (sequential, parallel, scatter-gather) produces byte-identical
+// results.
+func gather(q *cq.Query, enumerate func(fn func(Binding, []Match) error) error) (*Result, error) {
 	res := &Result{Cols: headCols(q)}
 	seen := make(map[string]bool)
-	err := EvalBindingsOpts(db, q, opts, func(b Binding, _ []Match) error {
+	err := enumerate(func(b Binding, _ []Match) error {
 		out, err := headTuple(q, b)
 		if err != nil {
 			return err
@@ -95,23 +155,25 @@ func EvalOpts(db *storage.DB, q *cq.Query, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// EvalBindings enumerates every binding of q's variables that satisfies the
-// body over db, invoking fn with the binding and the matched base tuples.
-// Returning a non-nil error from fn aborts the enumeration.
-func EvalBindings(db *storage.DB, q *cq.Query, fn func(b Binding, matches []Match) error) error {
-	return EvalBindingsOpts(db, q, Options{}, fn)
+// EvalBindingsOn is EvalBindingsOpts over any DBView.
+func EvalBindingsOn(dbv DBView, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
+	if err := validateAtoms(dbv, q); err != nil {
+		return err
+	}
+	e := &evaluator{db: dbv, q: q, fn: fn}
+	if opts.Parallel > 1 && len(q.Atoms) > 0 {
+		return e.runParallel(opts.Parallel)
+	}
+	return e.run()
 }
 
-// EvalBindingsOpts is EvalBindings with evaluation options. With
-// opts.Parallel > 1 the binding multiset is identical to the sequential
-// enumeration's but arrives in unspecified order; fn is still never invoked
-// concurrently, so it needs no internal locking.
-func EvalBindingsOpts(db *storage.DB, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
+// validateAtoms checks every atom against the database's relations.
+func validateAtoms(dbv DBView, q *cq.Query) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
 	for _, a := range q.Atoms {
-		rel := db.Relation(a.Pred)
+		rel := dbv.Relation(a.Pred)
 		if rel == nil {
 			return fmt.Errorf("eval: unknown relation %s", a.Pred)
 		}
@@ -120,15 +182,11 @@ func EvalBindingsOpts(db *storage.DB, q *cq.Query, opts Options, fn func(b Bindi
 				a.Pred, len(a.Args), rel.Schema().Arity())
 		}
 	}
-	e := &evaluator{db: db, q: q, fn: fn}
-	if opts.Parallel > 1 && len(q.Atoms) > 0 {
-		return e.runParallel(opts.Parallel)
-	}
-	return e.run()
+	return nil
 }
 
 type evaluator struct {
-	db *storage.DB
+	db DBView
 	q  *cq.Query
 	fn func(Binding, []Match) error
 }

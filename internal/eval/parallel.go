@@ -12,6 +12,51 @@ import (
 // enumeration; it never escapes to callers.
 var errStopped = errors.New("eval: enumeration stopped")
 
+// serialSink funnels binding deliveries from concurrent workers onto a
+// single-threaded callback and latches the first error. It upholds the
+// sequential abort contract across every parallel driver: once a delivery
+// errors (recorded while still holding the mutex), the callback is never
+// invoked again.
+type serialSink struct {
+	fn       func(Binding, []Match) error
+	mu       sync.Mutex
+	stop     atomic.Bool
+	errOnce  sync.Once
+	firstErr error
+}
+
+func newSerialSink(fn func(Binding, []Match) error) *serialSink {
+	return &serialSink{fn: fn}
+}
+
+// abort records the first error and raises the stop flag.
+func (s *serialSink) abort(err error) {
+	s.errOnce.Do(func() { s.firstErr = err })
+	s.stop.Store(true)
+}
+
+// stopped reports whether workers should cease enumerating.
+func (s *serialSink) stopped() bool { return s.stop.Load() }
+
+// err returns the first recorded error, for use after all workers joined.
+func (s *serialSink) err() error { return s.firstErr }
+
+// deliver hands one binding to the callback, serialized across workers.
+func (s *serialSink) deliver(b Binding, ms []Match) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop.Load() {
+		return errStopped
+	}
+	if err := s.fn(b, ms); err != nil {
+		// Record and raise stop while still holding the mutex, so no other
+		// worker can deliver a binding after fn errored.
+		s.abort(err)
+		return err
+	}
+	return nil
+}
+
 // runParallel enumerates bindings by partitioning the first atom of the
 // greedy join order across a worker pool. Each worker owns a private
 // binding/match state and descends the remaining atoms sequentially, so the
@@ -65,32 +110,7 @@ func (e *evaluator) runParallel(workers int) error {
 		workers = len(cands)
 	}
 
-	var (
-		fnMu     sync.Mutex
-		stop     atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-	)
-	abort := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		stop.Store(true)
-	}
-	serialFn := func(b Binding, ms []Match) error {
-		fnMu.Lock()
-		defer fnMu.Unlock()
-		if stop.Load() {
-			return errStopped
-		}
-		if err := e.fn(b, ms); err != nil {
-			// Record and raise stop while still holding fnMu, so no other
-			// worker can deliver a binding to fn after it errored — the
-			// sequential abort contract ("fn is not called again") holds.
-			abort(err)
-			return err
-		}
-		return nil
-	}
-
+	sink := newSerialSink(e.fn)
 	var wg sync.WaitGroup
 	chunk := (len(cands) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -102,21 +122,21 @@ func (e *evaluator) runParallel(workers int) error {
 		wg.Add(1)
 		go func(part []storage.Tuple) {
 			defer wg.Done()
-			we := &evaluator{db: e.db, q: e.q, fn: serialFn}
+			we := &evaluator{db: e.db, q: e.q, fn: sink.deliver}
 			b := make(Binding)
 			matches := make([]Match, 1, len(order))
 			for _, t := range part {
-				if stop.Load() {
+				if sink.stopped() {
 					return
 				}
 				added, ok := bindAtom(a, t, b)
 				if ok {
 					matches[0] = Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t}
 					if err := we.step(1, order, compAt, b, matches); err != nil {
-						// fn errors were already recorded inside serialFn;
+						// fn errors were already recorded inside the sink;
 						// anything else (e.g. a comparison error) aborts here.
 						if err != errStopped {
-							abort(err)
+							sink.abort(err)
 						}
 						return
 					}
@@ -128,5 +148,5 @@ func (e *evaluator) runParallel(workers int) error {
 		}(cands[lo:hi])
 	}
 	wg.Wait()
-	return firstErr
+	return sink.err()
 }

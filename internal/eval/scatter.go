@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"sync"
+
+	"citare/internal/cq"
+	"citare/internal/storage"
+)
+
+// Partitioned exposes a hash-partitioned database to the evaluator. The
+// interface doubles as the union DBView across every shard (deep join atoms
+// look up through it, with per-lookup pruning inside the implementation);
+// the extra methods let the scatter-gather driver partition the first join
+// atom by shard and skip shards that provably cannot match.
+type Partitioned interface {
+	DBView
+	// NumShards returns the number of shards.
+	NumShards() int
+	// Shard returns the shard-local view of one partition.
+	Shard(i int) DBView
+	// CandidateShards reports which shards can contain tuples of rel whose
+	// projection on cols equals vals. nil means every shard must be
+	// consulted (the lookup does not bind the relation's shard key).
+	CandidateShards(rel string, cols []int, vals []string) []int
+}
+
+// EvalSharded evaluates q over a partitioned database with set semantics,
+// scattering the first join atom across shards and gathering a
+// deterministically sorted result. The output is identical to EvalOpts over
+// the equivalent unsharded database, for every shard count and Parallel
+// setting.
+func EvalSharded(p Partitioned, q *cq.Query, opts Options) (*Result, error) {
+	return gather(q, func(fn func(Binding, []Match) error) error {
+		return EvalBindingsSharded(p, q, opts, fn)
+	})
+}
+
+// EvalBindingsSharded enumerates bindings scatter-gather: the first atom of
+// the join order is partitioned by shard rather than by a fixed worker
+// count, shards whose hash range cannot hold the atom's bound key are
+// skipped entirely (shard pruning), and deeper atoms evaluate against the
+// union view, which prunes per lookup. The binding multiset is identical to
+// the sequential enumeration over the unsharded data; with opts.Parallel > 1
+// candidate shards run concurrently and fn is serialized, with <= 1 shards
+// are walked in order on the calling goroutine.
+func EvalBindingsSharded(p Partitioned, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
+	if err := validateAtoms(p, q); err != nil {
+		return err
+	}
+	e := &evaluator{db: p, q: q, fn: fn}
+	if len(q.Atoms) == 0 {
+		return e.run()
+	}
+	order, compAt := e.plan()
+
+	// Comparisons ground before the first atom (constant-only) gate the
+	// whole enumeration.
+	empty := make(Binding)
+	for _, c := range compAt[0] {
+		ok, err := evalComparison(c, empty)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+
+	// Only constants are bound at depth 0; they determine both the in-shard
+	// lookup and the shard pruning.
+	atomIdx := order[0]
+	a := q.Atoms[atomIdx]
+	var lookupCols []int
+	var lookupVals []string
+	for i, t := range a.Args {
+		if t.IsConst {
+			lookupCols = append(lookupCols, i)
+			lookupVals = append(lookupVals, t.Value)
+		}
+	}
+	cands := p.CandidateShards(a.Pred, lookupCols, lookupVals)
+	if cands == nil {
+		cands = make([]int, p.NumShards())
+		for i := range cands {
+			cands[i] = i
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// scanShard enumerates the first atom inside one shard and descends the
+	// remaining atoms against the union view through ev.
+	scanShard := func(ev *evaluator, si int) error {
+		rel := p.Shard(si).Relation(a.Pred)
+		if rel == nil {
+			return nil
+		}
+		b := make(Binding)
+		matches := make([]Match, 1, len(order))
+		var iterErr error
+		iter := func(t storage.Tuple) bool {
+			added, ok := bindAtom(a, t, b)
+			if ok {
+				matches[0] = Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t}
+				if err := ev.step(1, order, compAt, b, matches); err != nil {
+					iterErr = err
+				}
+			}
+			for _, name := range added {
+				delete(b, name)
+			}
+			return iterErr == nil
+		}
+		if len(lookupCols) > 0 {
+			rel.Lookup(lookupCols, lookupVals, iter)
+		} else {
+			rel.Scan(iter)
+		}
+		return iterErr
+	}
+
+	if opts.Parallel <= 1 || len(cands) == 1 {
+		for _, si := range cands {
+			if err := scanShard(e, si); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Concurrent scatter: one worker per candidate shard, capped at
+	// opts.Parallel; deliveries are serialized through the sink so the
+	// callback keeps the sequential single-threaded contract.
+	sink := newSerialSink(fn)
+	workers := opts.Parallel
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			we := &evaluator{db: p, q: q, fn: sink.deliver}
+			for si := range shardCh {
+				if sink.stopped() {
+					continue // drain remaining shard indexes
+				}
+				if err := scanShard(we, si); err != nil && err != errStopped {
+					sink.abort(err)
+				}
+			}
+		}()
+	}
+	for _, si := range cands {
+		shardCh <- si
+	}
+	close(shardCh)
+	wg.Wait()
+	return sink.err()
+}

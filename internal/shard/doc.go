@@ -1,0 +1,69 @@
+// Package shard hash-partitions the storage engine so citation evaluation
+// scales past one lock domain. It is the sharding layer the ROADMAP names
+// as the first remaining scale item after the concurrent read path of PR 1.
+//
+// # Shard layout
+//
+// A shard.DB over schema S with n shards holds n independent storage.DB
+// instances ("parts"), all over S. Every relation declares a shard-key
+// column (RelSchema.ShardKey, defaulting to the first column — the primary
+// identifier in every GtoPdb-style schema), and a tuple lives in exactly
+// one part:
+//
+//	part(t) = FNV-1a(t[shardKeyCol]) mod n
+//
+// Each part is a full storage.DB: it has its own per-relation RW locks,
+// its own lazily built hash indexes, and its own copy-on-write snapshots.
+// Nothing is shared between parts, so index builds and writer/reader
+// contention divide by n, and Snapshot() costs O(n × relations) pointer
+// copies — never O(tuples).
+//
+// # Routing
+//
+// Writes (Insert/Delete) hash the tuple's shard-key value and go to one
+// part. Reads go through the eval.Partitioned interface:
+//
+//   - Relation(name) returns the union view across all parts (eval.RelView).
+//     Its Lookup inspects the bound columns: a lookup binding the shard-key
+//     column routes to exactly one part's hash index; any other lookup fans
+//     out across parts.
+//   - CandidateShards implements the same pruning rule for the evaluator's
+//     scatter phase: when a query atom binds the shard key with a constant,
+//     all other shards are skipped entirely (shard pruning), turning point
+//     lookups into single-shard work regardless of n.
+//
+// # Scatter-gather evaluation and merge semantics
+//
+// eval.EvalSharded / EvalBindingsSharded partition the first atom of the
+// greedy join order by shard instead of by fixed worker count: each
+// candidate shard enumerates its slice of the first atom locally, and the
+// descent through deeper atoms runs against the union view (which prunes
+// per lookup). Because the parts partition every relation, the union of the
+// per-shard enumerations is exactly the sequential binding multiset, so
+//
+//   - binding callbacks see the same multiset in unspecified order (they are
+//     serialized, never concurrent), and
+//   - set-semantics results are gathered, deduplicated and sorted by tuple
+//     key — byte-identical to unsharded evaluation for every shard count
+//     and parallelism setting (property-tested against the unsharded engine
+//     on the gtopdb and advisor workloads).
+//
+// core.Engine composes this with its epoch machinery: a sharded engine
+// snapshots all parts per epoch, materializes citation views and evaluates
+// citation queries scatter-gather, and keeps its execution database (base
+// relations + materialized view relations) sharded as well, so rewriting
+// evaluation fans out per shard too.
+//
+// # Caveats
+//
+// Primary-key uniqueness is enforced inside each part. The check is global
+// exactly when the primary key includes the shard-key column (true for the
+// whole GtoPdb schema); otherwise a duplicate key can land on two different
+// shards undetected. Foreign keys are validated per part and should be
+// checked on the unsharded source before partitioning (shard.FromDB).
+package shard
+
+import "citare/internal/eval"
+
+// The partitioned database is the evaluator's scatter-gather surface.
+var _ eval.Partitioned = (*DB)(nil)

@@ -50,6 +50,10 @@ type RelSchema struct {
 	Cols        []Column
 	Key         []string
 	ForeignKeys []ForeignKey
+	// ShardKey optionally names the column a hash-partitioned deployment
+	// (internal/shard) routes this relation's tuples by. Empty means the
+	// first column.
+	ShardKey string
 }
 
 // ColIndex returns the position of the named column, or -1.
@@ -73,6 +77,17 @@ func (rs *RelSchema) ColNames() []string {
 
 // Arity returns the number of columns.
 func (rs *RelSchema) Arity() int { return len(rs.Cols) }
+
+// ShardKeyIndex returns the position of the relation's shard-key column:
+// the declared ShardKey if set, otherwise the first column.
+func (rs *RelSchema) ShardKeyIndex() int {
+	if rs.ShardKey != "" {
+		if i := rs.ColIndex(rs.ShardKey); i >= 0 {
+			return i
+		}
+	}
+	return 0
+}
 
 // Schema is a collection of relation schemas, ordered by declaration.
 type Schema struct {
@@ -110,6 +125,9 @@ func (s *Schema) AddRelation(rs *RelSchema) error {
 		if rs.ColIndex(k) < 0 {
 			return fmt.Errorf("storage: relation %s: key column %s not declared", rs.Name, k)
 		}
+	}
+	if rs.ShardKey != "" && rs.ColIndex(rs.ShardKey) < 0 {
+		return fmt.Errorf("storage: relation %s: shard-key column %s not declared", rs.Name, rs.ShardKey)
 	}
 	for _, fk := range rs.ForeignKeys {
 		if len(fk.Cols) != len(fk.RefCols) {

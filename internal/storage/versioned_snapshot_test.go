@@ -1,0 +1,147 @@
+package storage
+
+// Coverage for the interplay of the versioned store with copy-on-write
+// snapshots: a snapshot (or a committed AsOf view) taken at some point must
+// be unchanged by every later write, which is what lets the engine pin an
+// epoch to it.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func versionedSchema() *Schema {
+	s := NewSchema()
+	s.MustAddRelation(&RelSchema{
+		Name: "Family",
+		Cols: []Column{{Name: "FID"}, {Name: "FName"}, {Name: "Type"}},
+		Key:  []string{"FID"},
+	})
+	return s
+}
+
+// tuples flattens a relation's live tuples into a deterministic string.
+func tuples(db *DB, rel string) string {
+	out := ""
+	for _, t := range db.Relation(rel).Tuples() {
+		out += t.Key() + ";"
+	}
+	return out
+}
+
+// TestAsOfSnapshotStableUnderLaterWrites: a Snapshot() of a committed AsOf
+// view keeps its contents while the versioned store moves on.
+func TestAsOfSnapshotStableUnderLaterWrites(t *testing.T) {
+	v := NewVersionedDB(versionedSchema())
+	v.MustInsert("Family", "1", "A", "gpcr")
+	v.MustInsert("Family", "2", "B", "lgic")
+	ver1 := v.Commit("release-1")
+
+	db1, err := v.AsOf(ver1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := db1.Snapshot()
+	want := tuples(snap, "Family")
+
+	// Later versioned history: inserts, a delete, an update, two commits.
+	v.MustInsert("Family", "3", "C", "gpcr")
+	if _, err := v.Delete("Family", "2", "B", "lgic"); err != nil {
+		t.Fatal(err)
+	}
+	v.Commit("release-2")
+	if err := v.Update("Family", Tuple{"1", "A", "gpcr"}, Tuple{"1", "A2", "gpcr"}); err != nil {
+		t.Fatal(err)
+	}
+	v.Commit("release-3")
+
+	if got := tuples(snap, "Family"); got != want {
+		t.Fatalf("snapshot of AsOf(%d) changed under later writes:\n got %s\nwant %s", ver1, got, want)
+	}
+	// Re-materializing the old version still agrees with the snapshot.
+	again, err := v.AsOf(ver1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tuples(again, "Family"); got != want {
+		t.Fatalf("AsOf(%d) changed after later commits:\n got %s\nwant %s", ver1, got, want)
+	}
+}
+
+// TestSnapshotOfCurrentIsolatedFromVersionedWrites: Current() materializes
+// the working state; a snapshot of it must not see later inserts even
+// though they land in the same uncommitted version.
+func TestSnapshotOfCurrentIsolatedFromVersionedWrites(t *testing.T) {
+	v := NewVersionedDB(versionedSchema())
+	v.MustInsert("Family", "1", "A", "gpcr")
+	cur := v.Current()
+	snap := cur.Snapshot()
+	before := snap.Relation("Family").Len()
+
+	v.MustInsert("Family", "2", "B", "gpcr")
+	// Current() builds a fresh DB; the old snapshot is untouched.
+	if got := snap.Relation("Family").Len(); got != before {
+		t.Fatalf("snapshot saw later versioned insert: %d, want %d", got, before)
+	}
+	if got := v.Current().Relation("Family").Len(); got != before+1 {
+		t.Fatalf("Current() missing later insert: %d, want %d", got, before+1)
+	}
+}
+
+// TestVersionedEpochSequence mimics the engine's epoch discipline over a
+// versioned store: pin epoch E to AsOf(verE).Snapshot(), keep writing, and
+// check every pinned epoch still reads its own version's data.
+func TestVersionedEpochSequence(t *testing.T) {
+	v := NewVersionedDB(versionedSchema())
+	type epoch struct {
+		ver  uint64
+		snap *DB
+		want string
+	}
+	var epochs []epoch
+	for i := 0; i < 5; i++ {
+		v.MustInsert("Family", fmt.Sprint(i), fmt.Sprintf("N%d", i), "gpcr")
+		ver := v.Commit(fmt.Sprintf("release-%d", i))
+		db, err := v.AsOf(ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := db.Snapshot()
+		epochs = append(epochs, epoch{ver: ver, snap: snap, want: tuples(snap, "Family")})
+	}
+	// After the full history, every epoch's snapshot still reads version-E
+	// contents — and they strictly grow.
+	for i, e := range epochs {
+		if got := tuples(e.snap, "Family"); got != e.want {
+			t.Fatalf("epoch %d (version %d) drifted:\n got %s\nwant %s", i, e.ver, got, e.want)
+		}
+		if n := e.snap.Relation("Family").Len(); n != i+1 {
+			t.Fatalf("epoch %d: %d tuples, want %d", i, n, i+1)
+		}
+	}
+}
+
+// TestFrozenSnapshotRejectsWrites: storage-level writes against a frozen
+// snapshot fail without corrupting the snapshot.
+func TestFrozenSnapshotRejectsWrites(t *testing.T) {
+	v := NewVersionedDB(versionedSchema())
+	v.MustInsert("Family", "1", "A", "gpcr")
+	ver := v.Commit("r1")
+	db, err := v.AsOf(ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if !snap.Frozen() {
+		t.Fatal("snapshot not frozen")
+	}
+	if err := snap.Insert("Family", "9", "X", "gpcr"); err == nil {
+		t.Fatal("insert into frozen snapshot succeeded")
+	}
+	if _, err := snap.Delete("Family", "1", "A", "gpcr"); err == nil {
+		t.Fatal("delete from frozen snapshot succeeded")
+	}
+	if snap.Relation("Family").Len() != 1 {
+		t.Fatal("rejected writes mutated the snapshot")
+	}
+}

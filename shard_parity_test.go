@@ -1,0 +1,257 @@
+package citare
+
+// Property tests for the sharded engine: citations produced through
+// shard-partitioned storage with scatter-gather evaluation must be
+// byte-identical to the unsharded engine's, on the paper's gtopdb workload
+// and the advisor example workload, for every shard count.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"citare/internal/gtopdb"
+	"citare/internal/shard"
+	"citare/internal/storage"
+)
+
+// gtopdbWorkload is the mixed SQL/datalog query set of the concurrency
+// tests plus point lookups that exercise shard pruning.
+func gtopdbWorkload() []mixedQuery {
+	return append(mixedWorkload(),
+		mixedQuery{false, `Q(N) :- Family(F, N, Ty), F = "11"`},
+		mixedQuery{false, `Q(Tx) :- FamilyIntro(F, Tx), F = "13"`},
+		mixedQuery{true, `SELECT f.FName, i.Text FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.FID = '11'`},
+	)
+}
+
+// advisorWorkload replays the examples/advisor log shapes: family landing
+// pages and type pages — the workloads behind the paper's V1 and V5.
+func advisorWorkload() []mixedQuery {
+	var out []mixedQuery
+	for _, fid := range []string{"11", "13", "20"} {
+		out = append(out, mixedQuery{false, fmt.Sprintf(`Q(N, Ty) :- Family(%q, N, Ty)`, fid)})
+	}
+	for _, ty := range []string{"gpcr", "lgic", "nhr"} {
+		out = append(out, mixedQuery{false, fmt.Sprintf(`Q(N, Tx) :- Family(F, N, %q), FamilyIntro(F, Tx)`, ty)})
+	}
+	return out
+}
+
+// citationFingerprint renders everything observable about a citation:
+// columns, rows, rewritings, per-tuple polynomials and records, and the
+// aggregated citation.
+func citationFingerprint(t *testing.T, res *Citation) string {
+	t.Helper()
+	s := fmt.Sprintf("cols=%v rows=%v rewritings=%v|", res.Columns(), res.Rows(), res.Rewritings())
+	for i := 0; i < res.NumTuples(); i++ {
+		s += res.TuplePolynomial(i) + "§" + res.TupleCitationJSON(i) + ";"
+	}
+	return s + res.CitationJSON()
+}
+
+func shardedPaperCiter(t *testing.T, db *storage.DB, shards int, opts ...Option) *Citer {
+	t.Helper()
+	sdb, err := shard.FromDB(db, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+		append([]Option{WithNeutralCitation(gtopdb.DatabaseCitation())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestShardedEngineParity: for every query of the gtopdb and advisor
+// workloads, the sharded engine's full citation output is byte-identical to
+// the unsharded engine's, across shard counts.
+func TestShardedEngineParity(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	base, err := NewFromProgram(db, gtopdb.ViewsProgram, WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []struct {
+		name    string
+		queries []mixedQuery
+	}{
+		{"gtopdb", gtopdbWorkload()},
+		{"advisor", advisorWorkload()},
+	}
+	for _, shards := range []int{1, 2, 3, 5} {
+		c := shardedPaperCiter(t, db, shards)
+		for _, wl := range workloads {
+			for _, q := range wl.queries {
+				want, err := cite(base, q)
+				if err != nil {
+					t.Fatalf("unsharded %s: %v", q.src, err)
+				}
+				got, err := cite(c, q)
+				if err != nil {
+					t.Fatalf("shards=%d %s: %v", shards, q.src, err)
+				}
+				if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+					t.Fatalf("%s workload, shards=%d, %s:\n got %s\nwant %s", wl.name, shards, q.src, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEngineParityGenerated repeats the parity check on a larger
+// generated instance where shard pruning and fan-out actually distribute
+// work (the paper instance is tiny).
+func TestShardedEngineParityGenerated(t *testing.T) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 150
+	db := gtopdb.Generate(cfg)
+	base, err := NewFromProgram(db, gtopdb.ViewsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []mixedQuery{
+		{false, `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`},
+		{false, `Q(N) :- Family(F, N, Ty), F = "37"`},
+		{false, `Q(N, Pn) :- Family(F, N, Ty), FC(F, P), Person(P, Pn, A), Ty = "type-02"`},
+	}
+	sdb, err := shard.FromDB(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err := cite(base, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cite(c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+			t.Fatalf("%s:\n got %s\nwant %s", q.src, g, w)
+		}
+	}
+}
+
+// TestShardedReset: writes to the live sharded database become visible
+// exactly at Reset, like the unsharded engine.
+func TestShardedReset(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	sdb, err := shard.FromDB(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `Q(N) :- Family(F, N, Ty), Ty = "gpcr"`
+	before, err := c.CiteDatalog(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb.MustInsert("Family", "777", "Shardin", "gpcr")
+	mid, err := c.CiteDatalog(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid.Rows()) != len(before.Rows()) {
+		t.Fatalf("write visible before Reset: %d rows, want %d", len(mid.Rows()), len(before.Rows()))
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.CiteDatalog(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows()) != len(before.Rows())+1 {
+		t.Fatalf("after Reset: %d rows, want %d", len(after.Rows()), len(before.Rows())+1)
+	}
+}
+
+// TestShardedConcurrentCiteAndReset stresses the sharded engine under
+// concurrent mixed-frontend citations racing Resets and live shard writes.
+// Run with -race (CI does).
+func TestShardedConcurrentCiteAndReset(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	sdb, err := shard.FromDB(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+		WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := gtopdbWorkload()
+	const goroutines = 16
+	const rounds = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if g == 0 && r%2 == 1 {
+					sdb.MustInsert("Family", fmt.Sprintf("x%d_%d", g, r), "Stress", "gpcr")
+					if err := c.Reset(); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				q := queries[(g+r)%len(queries)]
+				if _, err := cite(c, q); err != nil {
+					t.Errorf("%s: %v", q.src, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestShardedCachedCiter drives the cached facade over a sharded engine and
+// checks hits accumulate and invalidation picks up shard writes.
+func TestShardedCachedCiter(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	sdb, err := shard.FromDB(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(base)
+	const q = `Q(N) :- Family(F, N, Ty), Ty = "gpcr"`
+	first, err := c.CiteDatalog(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CiteDatalog(q); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := c.Stats(); hits == 0 {
+		t.Fatal("no cache hits on repeated sharded citation")
+	}
+	sdb.MustInsert("Family", "888", "CacheFam", "gpcr")
+	if err := c.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := c.CiteDatalog(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refreshed.Rows()) != len(first.Rows())+1 {
+		t.Fatalf("invalidate did not surface shard write: %d rows, want %d",
+			len(refreshed.Rows()), len(first.Rows())+1)
+	}
+}
