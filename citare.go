@@ -32,10 +32,14 @@
 //     lazy index builds are race-free. DB.Snapshot returns an O(relations)
 //     immutable view shared copy-on-write with the live database; writers
 //     never invalidate in-flight snapshot readers.
-//   - internal/eval: eval.Options{Parallel: n} partitions the first atom of
-//     the greedy join order across n workers (opt-in, e.g.
-//     runtime.GOMAXPROCS(0)); the binding multiset and Eval's sorted output
-//     are identical to the sequential evaluation's.
+//   - internal/eval: queries compile once into physical plans (variables
+//     mapped to integer slots, precomputed access paths, cardinality-aware
+//     join order) executed on reusable slot frames. eval.Options{Parallel}
+//     partitions the enumeration across workers — eval.Auto (the engine
+//     default) derives the worker count from plan cardinalities and
+//     partitions deeper atoms when the first one is too small to split; the
+//     binding multiset and Eval's sorted output are identical to the
+//     sequential evaluation's.
 //   - internal/shard: a shard.DB hash-partitions every relation across N
 //     independent storage.DB shards (each with its own locks, indexes and
 //     snapshots). eval.EvalSharded scatter-gathers: the first join atom is
@@ -47,7 +51,10 @@
 //     on Reset, scopes lazy view materialization to an epoch captured once
 //     per Cite, and caches rendered tokens in a sharded LRU — so a single
 //     Engine serves concurrent Cite calls, and Reset after updates never
-//     tears an in-flight citation.
+//     tears an in-flight citation. Repeated citations reuse two compilation
+//     caches: the logical plan (minimized query + certified rewritings,
+//     engine-lifetime) and the physical eval plans (per epoch, dropped on
+//     Reset).
 //   - Citer and CachedCiter are therefore safe for concurrent use;
 //     CachedCiter additionally collapses concurrent misses on equivalent
 //     queries into one engine call.
@@ -121,9 +128,10 @@ func WithNeutralCitation(obj *format.Object) Option {
 }
 
 // WithParallelEval evaluates queries and view materializations with n
-// workers (see eval.Options.Parallel). Useful for large databases; results
-// are identical to sequential evaluation. Values <= 1 keep evaluation
-// sequential.
+// workers (see eval.Options.Parallel). Results are identical to sequential
+// evaluation. n == 0 (the default) adapts the worker count to each compiled
+// plan's relation cardinalities and GOMAXPROCS; n == 1 forces sequential
+// evaluation; n > 1 fixes the worker cap.
 func WithParallelEval(n int) Option {
 	return func(o *options) { o.parallel = n }
 }

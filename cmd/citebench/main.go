@@ -5,7 +5,16 @@
 //	citebench                     # run everything
 //	citebench -exp E3             # one experiment
 //	citebench -quick              # fewer timing iterations
-//	citebench -json BENCH_2.json  # machine-readable ns/op + allocs/op
+//	citebench -json BENCH_3.json  # machine-readable ns/op + allocs/op
+//
+// The committed BENCH_<pr>.json artifacts form the repo's perf trajectory;
+// -regress compares two of them as a regression gate:
+//
+//	citebench -regress BENCH_2.json,BENCH_3.json   # warn on >1.5× allocs/op
+//	citebench -strict -regress OLD,NEW             # exit 1 on regression
+//
+// The allocs/op comparison is deterministic across machines; ns/op is
+// reported for context only (single-core CI runners make timing noisy).
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -34,9 +44,22 @@ var quick bool
 func main() {
 	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B16)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
+	regress := flag.String("regress", "", "compare two committed bench JSON files OLD,NEW and report allocs/op regressions")
+	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
 	flag.BoolVar(&quick, "quick", false, "fewer timing iterations")
 	flag.Parse()
 
+	if *regress != "" {
+		ok, err := checkRegression(*regress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "citebench:", err)
+			os.Exit(1)
+		}
+		if !ok && *strict {
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "citebench:", err)
@@ -549,6 +572,82 @@ func runB16() error {
 		fmt.Printf("   | shards=%-4d | %10d | %7s |\n", n, tuples, d.Round(time.Millisecond))
 	}
 	return nil
+}
+
+// allocRegressionTolerance is the allocs/op ratio (new/old) above which a
+// benchmark counts as regressed. Generous on purpose: allocation counts are
+// deterministic but small suites jitter a little with map layouts and LRU
+// state, and the gate should only catch real structural regressions.
+const allocRegressionTolerance = 1.5
+
+// checkRegression compares two committed bench JSON artifacts ("OLD,NEW")
+// on allocs/op, printing a table and reporting whether every benchmark
+// present in both stayed within tolerance. ns/op is shown for context only.
+func checkRegression(spec string) (ok bool, err error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return false, fmt.Errorf("-regress wants OLD.json,NEW.json, got %q", spec)
+	}
+	load := func(path string) (map[string]benchJSON, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var list []benchJSON
+		if err := json.Unmarshal(raw, &list); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]benchJSON, len(list))
+		for _, b := range list {
+			m[b.Name] = b
+		}
+		return m, nil
+	}
+	oldM, err := load(parts[0])
+	if err != nil {
+		return false, err
+	}
+	newM, err := load(parts[1])
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		if _, shared := oldM[name]; shared {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return false, fmt.Errorf("no shared benchmarks between %s and %s", parts[0], parts[1])
+	}
+	ok = true
+	// A benchmark that vanished from NEW is a gate hole, not a pass: flag it.
+	for name := range oldM {
+		if _, still := newM[name]; !still {
+			ok = false
+			fmt.Printf("%-45s MISSING from %s\n", name, parts[1])
+		}
+	}
+	fmt.Printf("%-45s %12s %12s %7s\n", "benchmark", "allocs(old)", "allocs(new)", "ratio")
+	for _, name := range names {
+		o, n := oldM[name], newM[name]
+		// Compare against at least 1 alloc so an old 0-alloc benchmark that
+		// starts allocating still trips the gate instead of dividing to 0.
+		oldAllocs := max(o.AllocsPerOp, 1)
+		ratio := float64(n.AllocsPerOp) / float64(oldAllocs)
+		status := ""
+		if ratio > allocRegressionTolerance {
+			ok = false
+			status = "  REGRESSION"
+		}
+		fmt.Printf("%-45s %12d %12d %6.2fx%s  (%.0f→%.0f ns/op)\n",
+			name, o.AllocsPerOp, n.AllocsPerOp, ratio, status, o.NsPerOp, n.NsPerOp)
+	}
+	if !ok {
+		fmt.Printf("allocs/op regression beyond %.1fx tolerance (or missing benchmark) detected\n", allocRegressionTolerance)
+	}
+	return ok, nil
 }
 
 // benchJSON is one benchmark's machine-readable result.

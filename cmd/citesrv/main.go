@@ -24,7 +24,6 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"runtime"
 
 	"citare"
 	"citare/internal/gtopdb"
@@ -144,7 +143,7 @@ func main() {
 		addr      = flag.String("addr", ":8437", "listen address")
 		dataDir   = flag.String("data", "", "directory of <Relation>.csv files (defaults to the paper instance)")
 		viewsPath = flag.String("views", "", "citation-views program file (defaults to the paper's views)")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "binding-enumeration workers per query (<=1 sequential)")
+		parallel  = flag.Int("parallel", 0, "binding-enumeration workers per query (0 = adaptive from plan cardinalities, 1 = sequential)")
 		shards    = flag.Int("shards", 1, "hash-partition the database across N shards (<=1 unsharded)")
 	)
 	flag.Parse()

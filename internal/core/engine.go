@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +24,10 @@ const viewRelPrefix = "__view_"
 // tokenCacheSize bounds the engine's rendered-token cache (sharded LRU).
 const tokenCacheSize = 4096
 
+// maxCachedQueries bounds the engine-lifetime logical-plan cache (minimized
+// queries + certified rewritings); past the cap queries compile per call.
+const maxCachedQueries = 512
+
 // Engine computes citations for general queries over a database with a set
 // of citation views and a policy.
 //
@@ -35,6 +40,16 @@ const tokenCacheSize = 4096
 // are cached in a sharded LRU keyed by epoch. Reset swaps in a fresh state
 // atomically, leaving in-flight Cite calls to finish consistently against
 // the old epoch.
+//
+// Query compilation is cached at two levels. The *logical* plan of a query
+// — its normalized, minimized form and the certified rewritings under the
+// engine's views and policy — depends only on the query text, so it is
+// cached for the engine's lifetime and survives Reset. The *physical* plans
+// (internal/eval slot programs, with relation views and join orders
+// resolved against live cardinalities) are cached inside each epoch state
+// and dropped with it on Reset. Repeated citations of the same query —
+// the cache-miss path of citare.CachedCiter — therefore skip rewriting
+// enumeration and plan compilation entirely.
 type Engine struct {
 	db     *storage.DB // live database handle, re-snapshotted on Reset
 	sdb    *shard.DB   // sharded mode: live partitioned database (db is nil)
@@ -42,16 +57,34 @@ type Engine struct {
 	byName map[string]*CitationView
 	policy Policy
 
-	// parallel > 1 enables parallel binding enumeration for query and view
-	// evaluation. Set via SetEvalParallelism before concurrent use.
+	// parallel configures binding-enumeration workers: 0 adapts the worker
+	// count to each plan's cardinalities (eval.Auto), 1 forces sequential,
+	// n > 1 fixes the cap. Set via SetEvalParallelism before concurrent use.
 	parallel int
 
 	tokenCache *cache.Sharded[*format.Object]
+
+	// queryMu guards queries, the engine-lifetime logical-plan cache.
+	queryMu sync.RWMutex
+	queries map[string]*compiledQuery
 
 	epochCtr atomic.Uint64 // allocates unique epochs across concurrent Resets
 
 	stateMu sync.RWMutex
 	state   *engineState
+}
+
+// compiledQuery is the engine-lifetime logical plan of one query: its
+// normalized and minimized forms plus the certified rewritings, already
+// preference-pruned under the policy. It depends only on the query and the
+// engine's views and policy — never on the data — so it survives Reset. All
+// fields are read-only after construction and shared across concurrent
+// Cite calls.
+type compiledQuery struct {
+	norm       *cq.Query
+	min        *cq.Query
+	sat        bool
+	rewritings []*rewrite.Rewriting
 }
 
 // engineState is one epoch of the engine: an immutable database snapshot
@@ -95,6 +128,7 @@ func newEngine(db *storage.DB, sdb *shard.DB, views []*CitationView, policy Poli
 		byName:     make(map[string]*CitationView, len(views)),
 		policy:     policy,
 		tokenCache: cache.NewSharded[*format.Object](8, tokenCacheSize),
+		queries:    make(map[string]*compiledQuery),
 	}
 	for _, v := range views {
 		if v == nil {
@@ -126,18 +160,22 @@ func (e *Engine) DB() *storage.DB { return e.db }
 // engine was built with NewShardedEngine).
 func (e *Engine) ShardDB() *shard.DB { return e.sdb }
 
-// SetEvalParallelism sets the worker count for parallel binding enumeration
-// (values <= 1 evaluate sequentially). Call before sharing the engine
-// across goroutines; it is not synchronized with in-flight Cite calls.
+// SetEvalParallelism sets the worker count for parallel binding
+// enumeration: 0 (the default) adapts the count to each compiled plan's
+// relation cardinalities and GOMAXPROCS (eval.Auto), 1 forces sequential
+// evaluation, and n > 1 fixes the worker cap. Call before sharing the
+// engine across goroutines; it is not synchronized with in-flight Cite
+// calls.
 func (e *Engine) SetEvalParallelism(n int) { e.parallel = n }
 
-// evalOpts returns the evaluation options the engine runs queries with. A
-// sharded engine with unset parallelism defaults to one worker per shard;
-// an explicit SetEvalParallelism(1) still forces sequential gathering.
+// evalOpts returns the evaluation options the engine runs queries with.
+// Unset parallelism is adaptive: the evaluator derives the worker count
+// from the plan's first-atom cardinality (partitioning deeper atoms when
+// the first is too small to split) instead of a blind flag default.
 func (e *Engine) evalOpts() eval.Options {
 	p := e.parallel
-	if p == 0 && e.sdb != nil {
-		p = e.sdb.NumShards()
+	if p == 0 {
+		p = eval.Auto
 	}
 	return eval.Options{Parallel: p}
 }
@@ -213,8 +251,8 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 				return nil, ierr
 			}
 		}
-		st.snap = shardedTarget(snap)
-		st.exec = shardedTarget(exec)
+		st.snap = shardedTarget(snap).cached()
+		st.exec = shardedTarget(exec).cached()
 		st.execIns = exec
 		return st, nil
 	}
@@ -234,8 +272,8 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 			return nil, ierr
 		}
 	}
-	st.snap = targetOf(snap)
-	st.exec = targetOf(exec)
+	st.snap = targetOf(snap).cached()
+	st.exec = targetOf(exec).cached()
 	st.execIns = exec
 	return st, nil
 }
@@ -322,26 +360,14 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	norm, _, sat := q.NormalizeConstants()
-	if !sat {
-		return e.citeUnsat(norm)
-	}
-	min := cq.Minimize(norm)
-
-	defs := make([]*cq.Query, len(e.views))
-	for i, v := range e.views {
-		defs[i] = v.Def
-	}
-	rewritings, err := rewrite.Enumerate(min, defs, rewrite.Options{
-		AllowPartial:  e.policy.AllowPartial,
-		MaxRewritings: e.policy.MaxRewritings,
-	})
+	cpq, err := e.logicalPlan(q)
 	if err != nil {
 		return nil, err
 	}
-	if e.policy.PreferredRewritings {
-		rewritings = preferRewritings(rewritings)
+	if !cpq.sat {
+		return e.citeUnsat(cpq.norm)
 	}
+	min, rewritings := cpq.min, cpq.rewritings
 
 	res := &Result{Query: min, Rewritings: rewritings}
 	for _, t := range min.Head {
@@ -394,6 +420,56 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 
 	res.Citation = e.aggregate(res.Tuples)
 	return res, nil
+}
+
+// logicalPlan returns the query's engine-lifetime logical plan —
+// normalization, minimization and rewriting enumeration memoized on the
+// query's collision-free syntactic key. Concurrent misses may compile
+// twice; the first stored plan wins so every caller shares one instance.
+// The caller must have validated q.
+func (e *Engine) logicalPlan(q *cq.Query) (*compiledQuery, error) {
+	key := q.Key()
+	e.queryMu.RLock()
+	cpq := e.queries[key]
+	e.queryMu.RUnlock()
+	if cpq != nil {
+		return cpq, nil
+	}
+	cpq, err := e.compileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	e.queryMu.Lock()
+	if prev := e.queries[key]; prev != nil {
+		cpq = prev
+	} else if len(e.queries) < maxCachedQueries {
+		e.queries[key] = cpq
+	}
+	e.queryMu.Unlock()
+	return cpq, nil
+}
+
+func (e *Engine) compileQuery(q *cq.Query) (*compiledQuery, error) {
+	norm, _, sat := q.NormalizeConstants()
+	if !sat {
+		return &compiledQuery{norm: norm}, nil
+	}
+	min := cq.Minimize(norm)
+	defs := make([]*cq.Query, len(e.views))
+	for i, v := range e.views {
+		defs[i] = v.Def
+	}
+	rewritings, err := rewrite.Enumerate(min, defs, rewrite.Options{
+		AllowPartial:  e.policy.AllowPartial,
+		MaxRewritings: e.policy.MaxRewritings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.policy.PreferredRewritings {
+		rewritings = preferRewritings(rewritings)
+	}
+	return &compiledQuery{norm: norm, min: min, sat: true, rewritings: rewritings}, nil
 }
 
 // preferRewritings implements the paper's §2.3 preference model: keep only
@@ -576,7 +652,7 @@ func (e *Engine) renderMonomial(st *engineState, m provenance.Monomial) format.V
 // state epoch so a Cite racing a Reset can never serve a rendering from a
 // different snapshot.
 func (e *Engine) renderTokenCached(st *engineState, pt provenance.Token) *format.Object {
-	key := fmt.Sprintf("%d|%s", st.epoch, pt)
+	key := strconv.FormatUint(st.epoch, 10) + "|" + string(pt)
 	obj, _ := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
 		return e.renderToken(st, pt), nil
 	})

@@ -1,18 +1,36 @@
 package core
 
 import (
+	"sync"
+
 	"citare/internal/cq"
 	"citare/internal/eval"
 	"citare/internal/storage"
 )
 
-// evalTarget couples a database view with its optional partitioned form:
-// engine queries scatter-gather across shards when the target is sharded
-// and evaluate plainly otherwise. Either way the results are deterministic
-// and identical, so everything downstream of evaluation is shared.
+// maxCachedPlans bounds one target's compiled-plan cache; past the cap new
+// queries compile per call instead of evicting (epochs are short-lived, so
+// a simple cap beats LRU bookkeeping on the hot path).
+const maxCachedPlans = 512
+
+// planCache memoizes compiled physical plans keyed by the query's
+// collision-free syntactic key. It is scoped to one evalTarget of one
+// engine epoch: the underlying snapshot is immutable for the epoch, so a
+// cached plan's resolved relation views and join order stay valid until
+// Reset drops the whole state (and its plans) atomically.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[string]*eval.Plan
+}
+
+// evalTarget couples a database view with an optional per-epoch plan cache.
+// The view may be a plain snapshot or a hash-partitioned database — plans
+// compiled over an eval.Partitioned view scatter-gather automatically, so
+// everything downstream of evaluation is shared and the results are
+// deterministic and identical either way.
 type evalTarget struct {
-	view eval.DBView
-	part eval.Partitioned // non-nil: evaluate scatter-gather per shard
+	view  eval.DBView
+	plans *planCache // nil: compile per call (one-shot targets)
 }
 
 // targetOf wraps a plain storage database.
@@ -22,19 +40,58 @@ func targetOf(db *storage.DB) evalTarget {
 
 // shardedTarget wraps a partitioned database.
 func shardedTarget(p eval.Partitioned) evalTarget {
-	return evalTarget{view: p, part: p}
+	return evalTarget{view: p}
+}
+
+// cached returns the target with a fresh plan cache attached — used for the
+// engine's epoch-scoped targets, where repeated citations of the same query
+// skip compilation entirely.
+func (t evalTarget) cached() evalTarget {
+	t.plans = &planCache{m: make(map[string]*eval.Plan)}
+	return t
+}
+
+// plan returns the compiled plan for q, memoized when the target carries a
+// cache. Concurrent misses may compile twice; the first stored plan wins,
+// so every caller executes an identical plan.
+func (t evalTarget) plan(q *cq.Query) (*eval.Plan, error) {
+	c := t.plans
+	if c == nil {
+		return eval.Compile(t.view, q)
+	}
+	key := q.Key()
+	c.mu.RLock()
+	pl := c.m[key]
+	c.mu.RUnlock()
+	if pl != nil {
+		return pl, nil
+	}
+	pl, err := eval.Compile(t.view, q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev := c.m[key]; prev != nil {
+		pl = prev
+	} else if len(c.m) < maxCachedPlans {
+		c.m[key] = pl
+	}
+	c.mu.Unlock()
+	return pl, nil
 }
 
 func (t evalTarget) eval(q *cq.Query, opts eval.Options) (*eval.Result, error) {
-	if t.part != nil {
-		return eval.EvalSharded(t.part, q, opts)
+	pl, err := t.plan(q)
+	if err != nil {
+		return nil, err
 	}
-	return eval.EvalOn(t.view, q, opts)
+	return pl.Eval(opts)
 }
 
 func (t evalTarget) evalBindings(q *cq.Query, opts eval.Options, fn func(eval.Binding, []eval.Match) error) error {
-	if t.part != nil {
-		return eval.EvalBindingsSharded(t.part, q, opts, fn)
+	pl, err := t.plan(q)
+	if err != nil {
+		return err
 	}
-	return eval.EvalBindingsOn(t.view, q, opts, fn)
+	return pl.EvalBindings(opts, fn)
 }

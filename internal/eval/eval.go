@@ -6,11 +6,31 @@
 // the operational core of the citation model: Definition 3.1 of the paper
 // attaches a citation to a single binding, Definition 3.2 sums (+) over all
 // bindings yielding a tuple.
+//
+// # Compiled plans
+//
+// Evaluation is two-phase. Compile turns a query into a Plan — a physical
+// form with variables mapped to integer slots, atoms ordered by
+// bound-position score and live relation cardinalities, per-atom access
+// paths (lookup columns and their value sources precomputed), and
+// comparison predicates scheduled at the earliest step where both sides are
+// ground. Execution then enumerates bindings on a flat []string slot frame
+// reused across the whole enumeration: no per-binding maps, no cloning, no
+// name lookups. The public EvalBindings* API converts a frame to a Binding
+// only at the callback edge.
+//
+// Plans drive all three strategies — sequential descent, worker-partitioned
+// parallel enumeration (Options.Parallel, with Auto deriving the worker
+// count from plan cardinalities and partitioning deeper atoms when the
+// first one is too small to split), and scatter-gather across the shards of
+// an eval.Partitioned view — with identical binding multisets and
+// byte-identical sorted results.
 package eval
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"citare/internal/cq"
 	"citare/internal/storage"
@@ -41,16 +61,51 @@ type Result struct {
 	// constant's value for constant head terms.
 	Cols   []string
 	Tuples []storage.Tuple
+
+	// keys holds every tuple's collision-free key for O(1) membership
+	// checks; evaluation fills it, Contains builds it lazily otherwise.
+	keys map[string]bool
 }
 
-// Contains reports whether the result includes the tuple.
+// Contains reports whether the result includes the tuple. The first call on
+// a hand-built Result indexes the tuples once; results produced by
+// evaluation are pre-indexed. Not safe for concurrent first use on a
+// hand-built Result.
 func (r *Result) Contains(t storage.Tuple) bool {
-	for _, u := range r.Tuples {
-		if u.Key() == t.Key() {
-			return true
+	if r.keys == nil {
+		r.keys = make(map[string]bool, len(r.Tuples))
+		for _, u := range r.Tuples {
+			r.keys[u.Key()] = true
 		}
 	}
-	return false
+	return r.keys[t.Key()]
+}
+
+// appendKeyPart appends one value in the collision-free length-prefixed
+// encoding of storage.Tuple.Key, so frame-built keys and Tuple.Key agree
+// byte for byte.
+func appendKeyPart(buf []byte, v string) []byte {
+	buf = strconv.AppendInt(buf, int64(len(v)), 10)
+	buf = append(buf, ':')
+	return append(buf, v...)
+}
+
+// sortTuplesByKey sorts tuples (and their parallel key slice) by key — the
+// same deterministic order every evaluation strategy produces.
+func sortTuplesByKey(keys []string, tuples []storage.Tuple) {
+	sort.Sort(&keyedTuples{keys: keys, tuples: tuples})
+}
+
+type keyedTuples struct {
+	keys   []string
+	tuples []storage.Tuple
+}
+
+func (s *keyedTuples) Len() int           { return len(s.keys) }
+func (s *keyedTuples) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *keyedTuples) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
 }
 
 // RelView is the read surface the evaluator needs from a relation.
@@ -85,12 +140,19 @@ func DBViewOf(db *storage.DB) DBView { return dbView{db} }
 
 // Options tunes an evaluation.
 type Options struct {
-	// Parallel, when > 1, partitions the first atom of the join order
-	// across that many workers. The callback passed to EvalBindingsOpts is
-	// never invoked concurrently, but the order in which bindings arrive is
-	// unspecified; the binding multiset is identical to the sequential
-	// evaluation's. EvalOpts output is deterministic regardless.
-	// Values <= 1 evaluate sequentially.
+	// Parallel partitions the enumeration across workers:
+	//
+	//   - Auto derives the worker count from the compiled plan's relation
+	//     cardinalities (sequential on small data or a single core);
+	//   - values > 1 fix the worker cap;
+	//   - 0 and 1 evaluate sequentially.
+	//
+	// Workers partition the first atom of the join order, or deeper atoms
+	// when the first one yields too few candidates to split. The callback
+	// passed to EvalBindingsOpts is never invoked concurrently, but the
+	// order in which bindings arrive is unspecified; the binding multiset
+	// is identical to the sequential evaluation's. EvalOpts output is
+	// deterministic regardless.
 	Parallel int
 }
 
@@ -113,255 +175,32 @@ func EvalBindings(db *storage.DB, q *cq.Query, fn func(b Binding, matches []Matc
 	return EvalBindingsOpts(db, q, Options{}, fn)
 }
 
-// EvalBindingsOpts is EvalBindings with evaluation options. With
-// opts.Parallel > 1 the binding multiset is identical to the sequential
+// EvalBindingsOpts is EvalBindings with evaluation options. With parallel
+// execution the binding multiset is identical to the sequential
 // enumeration's but arrives in unspecified order; fn is still never invoked
 // concurrently, so it needs no internal locking.
 func EvalBindingsOpts(db *storage.DB, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
 	return EvalBindingsOn(DBViewOf(db), q, opts, fn)
 }
 
-// EvalOn is EvalOpts over any DBView (e.g. a sharded union view).
+// EvalOn is EvalOpts over any DBView (e.g. a sharded union view): the query
+// is compiled and the plan executed once. Callers evaluating the same query
+// repeatedly should Compile once and reuse the Plan.
 func EvalOn(dbv DBView, q *cq.Query, opts Options) (*Result, error) {
-	return gather(q, func(fn func(Binding, []Match) error) error {
-		return EvalBindingsOn(dbv, q, opts, fn)
-	})
-}
-
-// gather runs a bindings enumerator with set semantics: head tuples are
-// deduplicated and sorted by their collision-free key, so every evaluation
-// strategy (sequential, parallel, scatter-gather) produces byte-identical
-// results.
-func gather(q *cq.Query, enumerate func(fn func(Binding, []Match) error) error) (*Result, error) {
-	res := &Result{Cols: headCols(q)}
-	seen := make(map[string]bool)
-	err := enumerate(func(b Binding, _ []Match) error {
-		out, err := headTuple(q, b)
-		if err != nil {
-			return err
-		}
-		if k := out.Key(); !seen[k] {
-			seen[k] = true
-			res.Tuples = append(res.Tuples, out)
-		}
-		return nil
-	})
+	p, err := Compile(dbv, q)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(res.Tuples, func(i, j int) bool {
-		return res.Tuples[i].Key() < res.Tuples[j].Key()
-	})
-	return res, nil
+	return p.Eval(opts)
 }
 
 // EvalBindingsOn is EvalBindingsOpts over any DBView.
 func EvalBindingsOn(dbv DBView, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
-	if err := validateAtoms(dbv, q); err != nil {
+	p, err := Compile(dbv, q)
+	if err != nil {
 		return err
 	}
-	e := &evaluator{db: dbv, q: q, fn: fn}
-	if opts.Parallel > 1 && len(q.Atoms) > 0 {
-		return e.runParallel(opts.Parallel)
-	}
-	return e.run()
-}
-
-// validateAtoms checks every atom against the database's relations.
-func validateAtoms(dbv DBView, q *cq.Query) error {
-	if err := q.Validate(); err != nil {
-		return err
-	}
-	for _, a := range q.Atoms {
-		rel := dbv.Relation(a.Pred)
-		if rel == nil {
-			return fmt.Errorf("eval: unknown relation %s", a.Pred)
-		}
-		if rel.Schema().Arity() != len(a.Args) {
-			return fmt.Errorf("eval: atom %s has %d arguments, relation has arity %d",
-				a.Pred, len(a.Args), rel.Schema().Arity())
-		}
-	}
-	return nil
-}
-
-type evaluator struct {
-	db DBView
-	q  *cq.Query
-	fn func(Binding, []Match) error
-}
-
-func (e *evaluator) run() error {
-	order, compAt := e.plan()
-	binding := make(Binding)
-	matches := make([]Match, 0, len(order))
-	return e.step(0, order, compAt, binding, matches)
-}
-
-// plan picks the join order and schedules comparisons; it is read-only on
-// the evaluator and its output is shared safely across parallel workers.
-func (e *evaluator) plan() (order []int, compAt [][]cq.Comparison) {
-	n := len(e.q.Atoms)
-	order = make([]int, 0, n)
-	used := make([]bool, n)
-	bound := make(map[string]bool)
-	// Greedy join order: repeatedly pick the atom with the most bound or
-	// constant argument positions; break ties toward smaller relations.
-	for len(order) < n {
-		best, bestScore, bestSize := -1, -1, 0
-		for i, a := range e.q.Atoms {
-			if used[i] {
-				continue
-			}
-			score := 0
-			for _, t := range a.Args {
-				if t.IsConst || (t.IsVar() && bound[t.Name]) {
-					score++
-				}
-			}
-			size := e.db.Relation(a.Pred).Len()
-			if score > bestScore || (score == bestScore && size < bestSize) {
-				best, bestScore, bestSize = i, score, size
-			}
-		}
-		order = append(order, best)
-		used[best] = true
-		for _, t := range e.q.Atoms[best].Args {
-			if t.IsVar() {
-				bound[t.Name] = true
-			}
-		}
-	}
-	// Schedule each comparison at the earliest step where both sides are
-	// ground.
-	compAt = make([][]cq.Comparison, n+1)
-	for _, c := range e.q.Comps {
-		step := 0
-		need := func(t cq.Term) {
-			if !t.IsVar() {
-				return
-			}
-			for s, atomIdx := range order {
-				hasVar := false
-				for _, u := range e.q.Atoms[atomIdx].Args {
-					if u.IsVar() && u.Name == t.Name {
-						hasVar = true
-						break
-					}
-				}
-				if hasVar {
-					if s+1 > step {
-						step = s + 1
-					}
-					return
-				}
-			}
-			step = n // unbound anywhere: checked at the end (Validate prevents this)
-		}
-		need(c.L)
-		need(c.R)
-		compAt[step] = append(compAt[step], c)
-	}
-	return order, compAt
-}
-
-// bindAtom binds a's free variable positions against tuple t in b, returning
-// the newly bound variable names and whether constants and already-bound
-// variables all agree. The caller must delete the added names when done (the
-// names are returned even on disagreement, for uniform cleanup).
-func bindAtom(a cq.Atom, t storage.Tuple, b Binding) (added []string, ok bool) {
-	for i, term := range a.Args {
-		if term.IsConst {
-			if t[i] != term.Value {
-				return added, false
-			}
-			continue
-		}
-		if v, bnd := b[term.Name]; bnd {
-			if t[i] != v {
-				return added, false
-			}
-			continue
-		}
-		b[term.Name] = t[i]
-		added = append(added, term.Name)
-	}
-	return added, true
-}
-
-func (e *evaluator) step(depth int, order []int, compAt [][]cq.Comparison, b Binding, matches []Match) error {
-	for _, c := range compAt[depth] {
-		ok, err := evalComparison(c, b)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-	}
-	if depth == len(order) {
-		return e.fn(b, matches)
-	}
-	atomIdx := order[depth]
-	a := e.q.Atoms[atomIdx]
-	rel := e.db.Relation(a.Pred)
-
-	var lookupCols []int
-	var lookupVals []string
-	for i, t := range a.Args {
-		if t.IsConst {
-			lookupCols = append(lookupCols, i)
-			lookupVals = append(lookupVals, t.Value)
-		} else if v, ok := b[t.Name]; ok {
-			lookupCols = append(lookupCols, i)
-			lookupVals = append(lookupVals, v)
-		}
-	}
-	var iterErr error
-	iter := func(t storage.Tuple) bool {
-		// Bind free positions; repeated variables within the atom must
-		// agree.
-		added, ok := bindAtom(a, t, b)
-		if ok {
-			matches = append(matches, Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t})
-			if err := e.step(depth+1, order, compAt, b, matches); err != nil {
-				iterErr = err
-			}
-			matches = matches[:len(matches)-1]
-		}
-		for _, name := range added {
-			delete(b, name)
-		}
-		return iterErr == nil
-	}
-	if len(lookupCols) > 0 {
-		rel.Lookup(lookupCols, lookupVals, iter)
-	} else {
-		rel.Scan(iter)
-	}
-	return iterErr
-}
-
-func evalComparison(c cq.Comparison, b Binding) (bool, error) {
-	ground := func(t cq.Term) (string, error) {
-		if t.IsConst {
-			return t.Value, nil
-		}
-		v, ok := b[t.Name]
-		if !ok {
-			return "", fmt.Errorf("eval: comparison variable %s unbound", t.Name)
-		}
-		return v, nil
-	}
-	l, err := ground(c.L)
-	if err != nil {
-		return false, err
-	}
-	r, err := ground(c.R)
-	if err != nil {
-		return false, err
-	}
-	return cq.CompareValues(l, c.Op, r), nil
+	return p.EvalBindings(opts, fn)
 }
 
 func headCols(q *cq.Query) []string {
@@ -374,22 +213,6 @@ func headCols(q *cq.Query) []string {
 		}
 	}
 	return cols
-}
-
-func headTuple(q *cq.Query, b Binding) (storage.Tuple, error) {
-	out := make(storage.Tuple, len(q.Head))
-	for i, t := range q.Head {
-		if t.IsConst {
-			out[i] = t.Value
-			continue
-		}
-		v, ok := b[t.Name]
-		if !ok {
-			return nil, fmt.Errorf("eval: head variable %s unbound", t.Name)
-		}
-		out[i] = v
-	}
-	return out, nil
 }
 
 // Materialize evaluates a view definition and loads its output (head

@@ -12,20 +12,20 @@ import (
 // enumeration; it never escapes to callers.
 var errStopped = errors.New("eval: enumeration stopped")
 
-// serialSink funnels binding deliveries from concurrent workers onto a
+// serialSink funnels frame deliveries from concurrent workers onto a
 // single-threaded callback and latches the first error. It upholds the
 // sequential abort contract across every parallel driver: once a delivery
 // errors (recorded while still holding the mutex), the callback is never
 // invoked again.
 type serialSink struct {
-	fn       func(Binding, []Match) error
+	fn       frameFn
 	mu       sync.Mutex
 	stop     atomic.Bool
 	errOnce  sync.Once
 	firstErr error
 }
 
-func newSerialSink(fn func(Binding, []Match) error) *serialSink {
+func newSerialSink(fn frameFn) *serialSink {
 	return &serialSink{fn: fn}
 }
 
@@ -41,76 +41,72 @@ func (s *serialSink) stopped() bool { return s.stop.Load() }
 // err returns the first recorded error, for use after all workers joined.
 func (s *serialSink) err() error { return s.firstErr }
 
-// deliver hands one binding to the callback, serialized across workers.
-func (s *serialSink) deliver(b Binding, ms []Match) error {
+// deliver hands one frame to the callback, serialized across workers.
+func (s *serialSink) deliver(frame []string, ms []Match) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stop.Load() {
 		return errStopped
 	}
-	if err := s.fn(b, ms); err != nil {
+	if err := s.fn(frame, ms); err != nil {
 		// Record and raise stop while still holding the mutex, so no other
-		// worker can deliver a binding after fn errored.
+		// worker can deliver a frame after fn errored.
 		s.abort(err)
 		return err
 	}
 	return nil
 }
 
-// runParallel enumerates bindings by partitioning the first atom of the
-// greedy join order across a worker pool. Each worker owns a private
-// binding/match state and descends the remaining atoms sequentially, so the
-// union of worker enumerations is exactly the sequential binding multiset.
-// Calls to e.fn are serialized through a mutex: fn sees the same single-
-// threaded contract as in the sequential evaluator, only the arrival order
-// changes.
-func (e *evaluator) runParallel(workers int) error {
-	order, compAt := e.plan()
+// prefix is a partially evaluated enumeration branch: the slot frame and
+// match stack after the first `depth` steps, handed to a worker to finish.
+type prefix struct {
+	frame   []string
+	matches []Match
+}
 
-	// Comparisons ground before the first atom (constant-only) gate the
-	// whole enumeration.
-	empty := make(Binding)
-	for _, c := range compAt[0] {
-		ok, err := evalComparison(c, empty)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-	}
-
-	// Collect the candidate tuples of the first atom. Only constants can be
-	// bound at depth 0, so the lookup columns are the constant positions.
-	atomIdx := order[0]
-	a := e.q.Atoms[atomIdx]
-	rel := e.db.Relation(a.Pred)
-	var lookupCols []int
-	var lookupVals []string
-	for i, t := range a.Args {
-		if t.IsConst {
-			lookupCols = append(lookupCols, i)
-			lookupVals = append(lookupVals, t.Value)
-		}
-	}
+// parallelFrames enumerates bindings with a worker pool. The first step's
+// candidate tuples are collected once; when there are enough of them they
+// are chunked across workers directly (each worker owning a private exec
+// state and descending the remaining steps sequentially, so the union of
+// worker enumerations is exactly the sequential binding multiset). When the
+// first atom is too small to split usefully — fewer candidates than
+// workers×prefixFanout — the enumeration is instead expanded one join level
+// at a time into prefixes until the fan-out suffices, and the prefixes are
+// partitioned. Calls to fn are serialized through a sink: fn sees the same
+// single-threaded contract as the sequential evaluator, only the arrival
+// order changes.
+func (p *Plan) parallelFrames(workers int, fn frameFn) error {
+	st0 := &p.steps[0]
 	var cands []storage.Tuple
 	collect := func(t storage.Tuple) bool {
 		cands = append(cands, t)
 		return true
 	}
-	if len(lookupCols) > 0 {
-		rel.Lookup(lookupCols, lookupVals, collect)
+	if len(st0.lookupCols) > 0 {
+		// Only constants can be bound at depth 0.
+		vals := make([]string, len(st0.lookupSrc))
+		for i, src := range st0.lookupSrc {
+			vals[i] = src.konst
+		}
+		st0.rel.Lookup(st0.lookupCols, vals, collect)
 	} else {
-		rel.Scan(collect)
+		st0.rel.Scan(collect)
 	}
 	if len(cands) == 0 {
 		return nil
 	}
+	if len(cands) >= workers*prefixFanout || len(p.steps) == 1 {
+		return p.runPartitioned(workers, cands, fn)
+	}
+	return p.runExpanded(workers, cands, fn)
+}
+
+// runPartitioned chunks the first step's candidate tuples across workers.
+func (p *Plan) runPartitioned(workers int, cands []storage.Tuple, fn frameFn) error {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
-
-	sink := newSerialSink(e.fn)
+	sink := newSerialSink(fn)
 	var wg sync.WaitGroup
 	chunk := (len(cands) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -122,30 +118,135 @@ func (e *evaluator) runParallel(workers int) error {
 		wg.Add(1)
 		go func(part []storage.Tuple) {
 			defer wg.Done()
-			we := &evaluator{db: e.db, q: e.q, fn: sink.deliver}
-			b := make(Binding)
-			matches := make([]Match, 1, len(order))
+			e := p.newExec(sink.deliver)
 			for _, t := range part {
 				if sink.stopped() {
 					return
 				}
-				added, ok := bindAtom(a, t, b)
-				if ok {
-					matches[0] = Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t}
-					if err := we.step(1, order, compAt, b, matches); err != nil {
-						// fn errors were already recorded inside the sink;
-						// anything else (e.g. a comparison error) aborts here.
-						if err != errStopped {
-							sink.abort(err)
-						}
-						return
+				if err := e.feed(0, t); err != nil {
+					// fn errors were already recorded inside the sink;
+					// anything else aborts here.
+					if err != errStopped {
+						sink.abort(err)
 					}
-				}
-				for _, name := range added {
-					delete(b, name)
+					return
 				}
 			}
 		}(cands[lo:hi])
+	}
+	wg.Wait()
+	return sink.err()
+}
+
+// runExpanded partitions deeper atoms: the enumeration is expanded
+// breadth-first, one join level at a time, into prefix frames until the
+// fan-out reaches workers×prefixFanout (or the last step), then the
+// prefixes are chunked across workers, each finishing its branches
+// sequentially. Expansion performs exactly the work the sequential
+// evaluator would, so the delivered multiset is unchanged.
+func (p *Plan) runExpanded(workers int, cands []storage.Tuple, fn frameFn) error {
+	target := workers * prefixFanout
+	scratch := p.newExec(nil)
+	snapshot := func(depth int) prefix {
+		return prefix{
+			frame:   append([]string(nil), scratch.frame...),
+			matches: append([]Match(nil), scratch.matches[:depth]...),
+		}
+	}
+	// bindCand applies step depth's bind program and comparisons to t.
+	bindCand := func(depth int, t storage.Tuple) bool {
+		st := &p.steps[depth]
+		for _, op := range st.binds {
+			if op.kind == opBind {
+				scratch.frame[op.slot] = t[op.col]
+			} else if t[op.col] != scratch.frame[op.slot] {
+				return false
+			}
+		}
+		for _, c := range st.comps {
+			if !c.holds(scratch.frame) {
+				return false
+			}
+		}
+		scratch.matches[depth] = Match{AtomIndex: st.atomIdx, Rel: st.pred, Tuple: t}
+		return true
+	}
+
+	var cur []prefix
+	for _, t := range cands {
+		if bindCand(0, t) {
+			cur = append(cur, snapshot(1))
+		}
+	}
+	depth := 1
+	for depth < len(p.steps) && len(cur) < target {
+		st := &p.steps[depth]
+		var next []prefix
+		for _, pf := range cur {
+			copy(scratch.frame, pf.frame)
+			copy(scratch.matches, pf.matches)
+			iter := func(t storage.Tuple) bool {
+				if bindCand(depth, t) {
+					next = append(next, snapshot(depth+1))
+				}
+				return true
+			}
+			if len(st.lookupCols) > 0 {
+				buf := scratch.lookupBuf[depth]
+				for i, src := range st.lookupSrc {
+					buf[i] = src.value(scratch.frame)
+				}
+				st.rel.Lookup(st.lookupCols, buf, iter)
+			} else {
+				st.rel.Scan(iter)
+			}
+		}
+		cur = next
+		depth++
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	if depth == len(p.steps) {
+		// The expansion enumerated everything; deliver sequentially.
+		for _, pf := range cur {
+			if err := fn(pf.frame, pf.matches); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if workers > len(cur) {
+		workers = len(cur)
+	}
+	sink := newSerialSink(fn)
+	var wg sync.WaitGroup
+	chunk := (len(cur) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(cur))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []prefix) {
+			defer wg.Done()
+			e := p.newExec(sink.deliver)
+			for _, pf := range part {
+				if sink.stopped() {
+					return
+				}
+				copy(e.frame, pf.frame)
+				copy(e.matches, pf.matches)
+				if err := e.run(depth); err != nil {
+					if err != errStopped {
+						sink.abort(err)
+					}
+					return
+				}
+			}
+		}(cur[lo:hi])
 	}
 	wg.Wait()
 	return sink.err()

@@ -1,0 +1,459 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+
+	"citare/internal/cq"
+	"citare/internal/storage"
+)
+
+// Auto, as an Options.Parallel value, derives the worker count from the
+// compiled plan's relation cardinalities and GOMAXPROCS instead of a fixed
+// flag: enumerations over small data run sequentially (no pool overhead),
+// large ones fan out up to the core count.
+const Auto = -1
+
+const (
+	// tuplesPerWorker is the enumeration size one worker should amortize;
+	// Auto adds workers only in these increments.
+	tuplesPerWorker = 128
+	// prefixFanout is the minimum number of work units per worker the
+	// parallel driver aims for; when the first atom yields fewer candidates
+	// than workers×prefixFanout, deeper atoms are partitioned instead.
+	prefixFanout = 4
+)
+
+// valSrc names where a runtime value comes from: a frame slot (slot >= 0) or
+// a compile-time constant (slot < 0).
+type valSrc struct {
+	slot  int
+	konst string
+}
+
+func constSrc(v string) valSrc { return valSrc{slot: -1, konst: v} }
+func slotSrc(slot int) valSrc  { return valSrc{slot: slot} }
+func (s valSrc) value(frame []string) string {
+	if s.slot < 0 {
+		return s.konst
+	}
+	return frame[s.slot]
+}
+
+// Bind-op kinds: write the tuple value into a slot, or check it against a
+// slot bound earlier by the same atom (repeated variables).
+const (
+	opBind uint8 = iota
+	opCheckSlot
+)
+
+// bindOp is one column action when an atom binds a candidate tuple. Lookup
+// columns need no op — the hash index already guarantees equality — so only
+// newly bound variables and within-atom repeats appear here.
+type bindOp struct {
+	col  int
+	slot int
+	kind uint8
+}
+
+// compiledComp is a comparison with both sides resolved to value sources; it
+// is scheduled at the earliest step where both sides are bound, so it can
+// never fail on an unbound variable at run time.
+type compiledComp struct {
+	l, r valSrc
+	op   cq.CompOp
+}
+
+func (c compiledComp) holds(frame []string) bool {
+	return cq.CompareValues(c.l.value(frame), c.op, c.r.value(frame))
+}
+
+// planStep is one atom of the physical join order: the resolved relation
+// view, the precomputed access path (lookup columns and their value
+// sources), the bind program, and the comparisons that become checkable
+// once this step binds.
+type planStep struct {
+	atomIdx    int // index into the query's Atoms (Match.AtomIndex)
+	pred       string
+	rel        RelView
+	lookupCols []int
+	lookupSrc  []valSrc
+	binds      []bindOp
+	comps      []compiledComp
+}
+
+// Plan is a query compiled once against a database view into a physical
+// form: variables mapped to integer slots, atoms ordered by bound-position
+// score and live cardinalities, per-atom access paths with precomputed
+// lookup columns, and comparisons scheduled at their earliest ground step.
+// Execution enumerates bindings on a flat []string slot frame reused across
+// the whole enumeration — no per-binding maps, no cloning.
+//
+// A Plan is immutable after Compile and safe for concurrent executions;
+// core.Engine caches plans per epoch so repeated citations of the same
+// query skip compilation entirely.
+type Plan struct {
+	q    *cq.Query
+	part Partitioned // non-nil: the view is hash-partitioned, execute scatter-gather
+
+	varOf    []string // slot -> variable name (all slots bound at full depth)
+	steps    []planStep
+	preComps []compiledComp // constant-only comparisons gating the enumeration
+	headSrc  []valSrc       // head tuple construction
+	cols     []string       // head column labels
+
+	// maxCard is the largest step cardinality at compile time; Auto derives
+	// worker counts from it (the first step's own size is observed live by
+	// the parallel driver, which switches to prefix expansion when the
+	// first atom yields too few candidates to split).
+	maxCard int
+}
+
+// Compile builds the physical plan of q over dbv. It validates the query and
+// its atoms (unknown relations, arity mismatches) and resolves every
+// relation view once, so execution touches no name maps. When dbv is an
+// eval.Partitioned, executions scatter-gather across its shards.
+func Compile(dbv DBView, q *cq.Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(q.Atoms)
+	rels := make([]RelView, n)
+	lens := make([]int, n)
+	for i, a := range q.Atoms {
+		rel := dbv.Relation(a.Pred)
+		if rel == nil {
+			return nil, fmt.Errorf("eval: unknown relation %s", a.Pred)
+		}
+		if rel.Schema().Arity() != len(a.Args) {
+			return nil, fmt.Errorf("eval: atom %s has %d arguments, relation has arity %d",
+				a.Pred, len(a.Args), rel.Schema().Arity())
+		}
+		rels[i] = rel
+		lens[i] = rel.Len()
+	}
+
+	p := &Plan{q: q, cols: headCols(q)}
+	p.part, _ = dbv.(Partitioned)
+
+	// Slot assignment: first occurrence order across atoms. Validate
+	// guarantees every head and comparison variable occurs in some atom, so
+	// this covers every variable of the query.
+	slotOf := make(map[string]int, 8)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := slotOf[t.Name]; !ok {
+					slotOf[t.Name] = len(p.varOf)
+					p.varOf = append(p.varOf, t.Name)
+				}
+			}
+		}
+	}
+
+	// Join order: greedily pick the atom with the most bound or constant
+	// argument positions, breaking ties toward the smaller live relation —
+	// bound positions turn scans into hash lookups, and among equally bound
+	// atoms the smaller cardinality drives fewer downstream probes.
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make([]bool, len(p.varOf))
+	for len(order) < n {
+		best, bestScore, bestSize := -1, -1, 0
+		for i, a := range q.Atoms {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range a.Args {
+				if t.IsConst || bound[slotOf[t.Name]] {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && lens[i] < bestSize) {
+				best, bestScore, bestSize = i, score, lens[i]
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		for _, t := range q.Atoms[best].Args {
+			if t.IsVar() {
+				bound[slotOf[t.Name]] = true
+			}
+		}
+	}
+
+	// Build steps along the order, scheduling each comparison at the first
+	// step where both sides are ground (constant-only comparisons gate the
+	// whole enumeration as preComps).
+	for i := range bound {
+		bound[i] = false
+	}
+	compDone := make([]bool, len(q.Comps))
+	schedule := func(st *planStep) {
+		for ci, c := range q.Comps {
+			if compDone[ci] {
+				continue
+			}
+			ready := true
+			var srcs [2]valSrc
+			for j, t := range [2]cq.Term{c.L, c.R} {
+				if t.IsConst {
+					srcs[j] = constSrc(t.Value)
+					continue
+				}
+				slot, ok := slotOf[t.Name]
+				if !ok || !bound[slot] {
+					ready = false
+					break
+				}
+				srcs[j] = slotSrc(slot)
+			}
+			if !ready {
+				continue
+			}
+			compDone[ci] = true
+			cc := compiledComp{l: srcs[0], r: srcs[1], op: c.Op}
+			if st == nil {
+				p.preComps = append(p.preComps, cc)
+			} else {
+				st.comps = append(st.comps, cc)
+			}
+		}
+	}
+	schedule(nil)
+	for _, atomIdx := range order {
+		a := q.Atoms[atomIdx]
+		st := planStep{atomIdx: atomIdx, pred: a.Pred, rel: rels[atomIdx]}
+		var boundHere []int
+		for col, t := range a.Args {
+			if t.IsConst {
+				st.lookupCols = append(st.lookupCols, col)
+				st.lookupSrc = append(st.lookupSrc, constSrc(t.Value))
+				continue
+			}
+			slot := slotOf[t.Name]
+			switch {
+			case bound[slot]: // bound by an earlier step: part of the lookup key
+				st.lookupCols = append(st.lookupCols, col)
+				st.lookupSrc = append(st.lookupSrc, slotSrc(slot))
+			case sliceHas(boundHere, slot): // repeated within this atom
+				st.binds = append(st.binds, bindOp{col: col, slot: slot, kind: opCheckSlot})
+			default:
+				st.binds = append(st.binds, bindOp{col: col, slot: slot, kind: opBind})
+				boundHere = append(boundHere, slot)
+			}
+		}
+		for _, s := range boundHere {
+			bound[s] = true
+		}
+		schedule(&st)
+		p.steps = append(p.steps, st)
+	}
+	for ci, done := range compDone {
+		if !done {
+			// Unreachable after Validate (comparison variables occur in the
+			// body); kept as a guard against future query-model changes.
+			return nil, fmt.Errorf("eval: comparison variable in %s never bound", q.Comps[ci].String())
+		}
+	}
+
+	for _, t := range q.Head {
+		if t.IsConst {
+			p.headSrc = append(p.headSrc, constSrc(t.Value))
+		} else {
+			p.headSrc = append(p.headSrc, slotSrc(slotOf[t.Name]))
+		}
+	}
+
+	for _, l := range lens {
+		if l > p.maxCard {
+			p.maxCard = l
+		}
+	}
+	return p, nil
+}
+
+func sliceHas(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Query returns the query the plan was compiled from.
+func (p *Plan) Query() *cq.Query { return p.q }
+
+// frameFn receives one satisfying valuation as a slot frame plus the matched
+// base tuples. Both slices are reused across deliveries and must not be
+// retained.
+type frameFn func(frame []string, matches []Match) error
+
+// exec is one execution of a plan: a slot frame, a match stack and per-step
+// lookup buffers, all allocated once and reused across the enumeration.
+type exec struct {
+	p         *Plan
+	frame     []string
+	matches   []Match
+	lookupBuf [][]string
+	fn        frameFn
+}
+
+func (p *Plan) newExec(fn frameFn) *exec {
+	e := &exec{
+		p:       p,
+		frame:   make([]string, len(p.varOf)),
+		matches: make([]Match, len(p.steps)),
+		fn:      fn,
+	}
+	e.lookupBuf = make([][]string, len(p.steps))
+	for i := range p.steps {
+		if n := len(p.steps[i].lookupSrc); n > 0 {
+			// Each depth owns its buffer: a deeper recursion must not clobber
+			// the values a shallower fan-out Lookup is still reading.
+			e.lookupBuf[i] = make([]string, n)
+		}
+	}
+	return e
+}
+
+// feed runs one candidate tuple of step depth through the bind program and
+// the step's comparisons, then descends. A failed check is not an error —
+// the candidate simply yields no bindings.
+func (e *exec) feed(depth int, t storage.Tuple) error {
+	st := &e.p.steps[depth]
+	for _, op := range st.binds {
+		if op.kind == opBind {
+			e.frame[op.slot] = t[op.col]
+		} else if t[op.col] != e.frame[op.slot] {
+			return nil
+		}
+	}
+	for _, c := range st.comps {
+		if !c.holds(e.frame) {
+			return nil
+		}
+	}
+	e.matches[depth] = Match{AtomIndex: st.atomIdx, Rel: st.pred, Tuple: t}
+	return e.run(depth + 1)
+}
+
+// run enumerates all bindings extending the frame's first `depth` steps. At
+// full depth every slot is bound (each slot's binding step lies on the
+// current path), so the frame is a complete valuation.
+func (e *exec) run(depth int) error {
+	if depth == len(e.p.steps) {
+		return e.fn(e.frame, e.matches)
+	}
+	st := &e.p.steps[depth]
+	var iterErr error
+	iter := func(t storage.Tuple) bool {
+		if err := e.feed(depth, t); err != nil {
+			iterErr = err
+			return false
+		}
+		return true
+	}
+	if len(st.lookupCols) > 0 {
+		buf := e.lookupBuf[depth]
+		for i, src := range st.lookupSrc {
+			buf[i] = src.value(e.frame)
+		}
+		st.rel.Lookup(st.lookupCols, buf, iter)
+	} else {
+		st.rel.Scan(iter)
+	}
+	return iterErr
+}
+
+// frames enumerates every satisfying valuation of the plan, dispatching to
+// the scatter-gather driver for partitioned views and to the adaptive
+// parallel driver otherwise. fn is never invoked concurrently.
+func (p *Plan) frames(opts Options, fn frameFn) error {
+	for _, c := range p.preComps {
+		if !c.holds(nil) { // constant-only: never touches the frame
+			return nil
+		}
+	}
+	if p.part != nil && p.part.NumShards() > 1 {
+		return p.scatterFrames(opts, fn)
+	}
+	if w := p.workers(opts); w > 1 {
+		return p.parallelFrames(w, fn)
+	}
+	return p.newExec(fn).run(0)
+}
+
+// workers resolves the effective worker count for a plain (unpartitioned)
+// enumeration: explicit Parallel values are honored as before, Auto derives
+// the count from the plan's largest relation cardinality — the enumeration
+// can't be larger than useful work for one worker per tuplesPerWorker tuples
+// — capped at GOMAXPROCS. On a single-core runner Auto always evaluates
+// sequentially, paying zero pool overhead.
+func (p *Plan) workers(opts Options) int {
+	switch {
+	case opts.Parallel == Auto:
+		gmp := runtime.GOMAXPROCS(0)
+		if gmp <= 1 {
+			return 1
+		}
+		w := p.maxCard / tuplesPerWorker
+		if w > gmp {
+			w = gmp
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
+	case opts.Parallel > 1:
+		return opts.Parallel
+	}
+	return 1
+}
+
+// EvalBindings enumerates the plan's bindings, converting each slot frame to
+// a Binding only at this callback edge; the map is reused across deliveries
+// (fn must not retain it — same contract as the package-level entry points).
+func (p *Plan) EvalBindings(opts Options, fn func(Binding, []Match) error) error {
+	b := make(Binding, len(p.varOf))
+	return p.frames(opts, func(frame []string, ms []Match) error {
+		for i, name := range p.varOf {
+			b[name] = frame[i]
+		}
+		return fn(b, ms)
+	})
+}
+
+// Eval runs the plan with set semantics: head tuples are deduplicated on a
+// reusable key buffer and deterministically sorted, so every execution
+// strategy produces byte-identical results.
+func (p *Plan) Eval(opts Options) (*Result, error) {
+	res := &Result{Cols: p.cols, keys: make(map[string]bool)}
+	var keyBuf []byte
+	var keys []string
+	err := p.frames(opts, func(frame []string, _ []Match) error {
+		keyBuf = keyBuf[:0]
+		for _, src := range p.headSrc {
+			keyBuf = appendKeyPart(keyBuf, src.value(frame))
+		}
+		if res.keys[string(keyBuf)] { // no-alloc map probe
+			return nil
+		}
+		k := string(keyBuf)
+		res.keys[k] = true
+		t := make(storage.Tuple, len(p.headSrc))
+		for i, src := range p.headSrc {
+			t[i] = src.value(frame)
+		}
+		res.Tuples = append(res.Tuples, t)
+		keys = append(keys, k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortTuplesByKey(keys, res.Tuples)
+	return res, nil
+}

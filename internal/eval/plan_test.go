@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"citare/internal/cq"
+	"citare/internal/storage"
+)
+
+// TestPropAutoMatchesSequential: Auto-parallel evaluation (worker count
+// derived from plan cardinalities) yields exactly the sequential binding
+// multiset and tuple list on random databases and queries.
+func TestPropAutoMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	f := func() bool {
+		db := randomFactDB(r)
+		q := randomJoinQuery(r)
+		seq := bindingMultiset(t, db, q, Options{})
+		auto := bindingMultiset(t, db, q, Options{Parallel: Auto})
+		if !reflect.DeepEqual(seq, auto) {
+			t.Logf("query %s: auto multiset diverges", q)
+			return false
+		}
+		seqRes, err := Eval(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autoRes, err := EvalOpts(db, q, Options{Parallel: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reflect.DeepEqual(seqRes.Cols, autoRes.Cols) && reflect.DeepEqual(seqRes.Tuples, autoRes.Tuples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expansionDB builds a join whose first atom is far too small to split
+// across workers while the deeper atoms carry the fan-out, forcing the
+// parallel driver down the prefix-expansion path.
+func expansionDB(t *testing.T) (*storage.DB, *cq.Query) {
+	t.Helper()
+	var facts []cq.Atom
+	for i := 0; i < 2; i++ { // tiny first relation
+		facts = append(facts, cq.NewAtom("R", cq.Const(fmt.Sprint(i)), cq.Const(fmt.Sprint(i%2))))
+	}
+	for i := 0; i < 60; i++ {
+		facts = append(facts, cq.NewAtom("S", cq.Const(fmt.Sprint(i%2)), cq.Const(fmt.Sprint(i))))
+		facts = append(facts, cq.NewAtom("T", cq.Const(fmt.Sprint(i)), cq.Const(fmt.Sprint(i%7))))
+	}
+	db, err := DBFromFacts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &cq.Query{Name: "Q",
+		Head: []cq.Term{cq.Var("X"), cq.Var("W")},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("X"), cq.Var("Y")),
+			cq.NewAtom("S", cq.Var("Y"), cq.Var("Z")),
+			cq.NewAtom("T", cq.Var("Z"), cq.Var("W")),
+		}}
+	return db, q
+}
+
+// TestParallelDeepPartitioning: with a 2-tuple first atom and 4 workers the
+// driver must partition deeper atoms (prefix expansion); the binding
+// multiset and result stay identical to the sequential evaluation.
+func TestParallelDeepPartitioning(t *testing.T) {
+	db, q := expansionDB(t)
+	seq := bindingMultiset(t, db, q, Options{})
+	for _, workers := range []int{2, 4, 8} {
+		par := bindingMultiset(t, db, q, Options{Parallel: workers})
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: expanded multiset diverges (%d vs %d distinct)", workers, len(seq), len(par))
+		}
+	}
+	seqRes, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := EvalOpts(db, q, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes.Tuples, parRes.Tuples) {
+		t.Fatalf("expanded tuples diverge: %v vs %v", seqRes.Tuples, parRes.Tuples)
+	}
+}
+
+// TestExpandedCallbackErrorAborts: the abort contract holds on the
+// prefix-expansion path too — after fn errors it is never invoked again.
+func TestExpandedCallbackErrorAborts(t *testing.T) {
+	db, q := expansionDB(t)
+	boom := fmt.Errorf("boom")
+	calls := 0
+	err := EvalBindingsOpts(db, q, Options{Parallel: 4}, func(Binding, []Match) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn called %d times after erroring on call 2", calls)
+	}
+}
+
+// TestPlanConcurrentReuse: one compiled plan is safe for concurrent
+// executions — each run owns its frame — and every execution returns the
+// same sorted result. Run with -race (CI does).
+func TestPlanConcurrentReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	db := randomFactDB(r)
+	snap := db.Snapshot()
+	q := &cq.Query{Name: "Q",
+		Head: []cq.Term{cq.Var("X"), cq.Var("Z")},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("X"), cq.Var("Y")),
+			cq.NewAtom("S", cq.Var("Y"), cq.Var("Z")),
+		}}
+	p, err := Compile(DBViewOf(snap), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Eval(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := Options{Parallel: []int{0, 2, Auto}[g%3]}
+			got, err := p.Eval(opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+				t.Errorf("concurrent plan reuse diverged")
+			}
+			n := 0
+			if err := p.EvalBindings(opts, func(b Binding, ms []Match) error {
+				n++
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPlanResultContains: results are pre-indexed for O(1) membership and
+// hand-built results index lazily.
+func TestPlanResultContains(t *testing.T) {
+	db := familyDB(t)
+	q := &cq.Query{Name: "Q", Head: []cq.Term{cq.Var("F")},
+		Atoms: []cq.Atom{cq.NewAtom("FC", cq.Var("F"), cq.Var("P"))}}
+	res, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contains(storage.Tuple{"11"}) || res.Contains(storage.Tuple{"999"}) {
+		t.Fatalf("evaluated-result membership wrong: %v", res.Tuples)
+	}
+	hand := &Result{Tuples: []storage.Tuple{{"a", "b"}}}
+	if !hand.Contains(storage.Tuple{"a", "b"}) || hand.Contains(storage.Tuple{"a", "c"}) {
+		t.Fatal("hand-built result membership wrong")
+	}
+}
+
+// TestCompileErrors: compilation surfaces the same validation errors the
+// evaluator always reported.
+func TestCompileErrors(t *testing.T) {
+	db := familyDB(t)
+	if _, err := Compile(DBViewOf(db), &cq.Query{Head: []cq.Term{cq.Var("X")},
+		Atoms: []cq.Atom{cq.NewAtom("Nope", cq.Var("X"))}}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := Compile(DBViewOf(db), &cq.Query{Head: []cq.Term{cq.Var("X")},
+		Atoms: []cq.Atom{cq.NewAtom("Family", cq.Var("X"))}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"runtime"
 	"sync"
 
 	"citare/internal/cq"
@@ -11,7 +12,9 @@ import (
 // interface doubles as the union DBView across every shard (deep join atoms
 // look up through it, with per-lookup pruning inside the implementation);
 // the extra methods let the scatter-gather driver partition the first join
-// atom by shard and skip shards that provably cannot match.
+// atom by shard and skip shards that provably cannot match. Compile detects
+// a Partitioned view automatically, so plans compiled over one scatter-
+// gather without a separate entry point.
 type Partitioned interface {
 	DBView
 	// NumShards returns the number of shards.
@@ -30,9 +33,11 @@ type Partitioned interface {
 // the equivalent unsharded database, for every shard count and Parallel
 // setting.
 func EvalSharded(p Partitioned, q *cq.Query, opts Options) (*Result, error) {
-	return gather(q, func(fn func(Binding, []Match) error) error {
-		return EvalBindingsSharded(p, q, opts, fn)
-	})
+	pl, err := Compile(p, q)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Eval(opts)
 }
 
 // EvalBindingsSharded enumerates bindings scatter-gather: the first atom of
@@ -40,47 +45,61 @@ func EvalSharded(p Partitioned, q *cq.Query, opts Options) (*Result, error) {
 // count, shards whose hash range cannot hold the atom's bound key are
 // skipped entirely (shard pruning), and deeper atoms evaluate against the
 // union view, which prunes per lookup. The binding multiset is identical to
-// the sequential enumeration over the unsharded data; with opts.Parallel > 1
-// candidate shards run concurrently and fn is serialized, with <= 1 shards
-// are walked in order on the calling goroutine.
+// the sequential enumeration over the unsharded data; with more than one
+// candidate shard and Parallel > 1 (or Auto on a multi-core machine)
+// candidate shards run concurrently and fn is serialized.
 func EvalBindingsSharded(p Partitioned, q *cq.Query, opts Options, fn func(b Binding, matches []Match) error) error {
-	if err := validateAtoms(p, q); err != nil {
+	pl, err := Compile(p, q)
+	if err != nil {
 		return err
 	}
-	e := &evaluator{db: p, q: q, fn: fn}
-	if len(q.Atoms) == 0 {
-		return e.run()
-	}
-	order, compAt := e.plan()
+	return pl.EvalBindings(opts, fn)
+}
 
-	// Comparisons ground before the first atom (constant-only) gate the
-	// whole enumeration.
-	empty := make(Binding)
-	for _, c := range compAt[0] {
-		ok, err := evalComparison(c, empty)
-		if err != nil {
-			return err
+// scatterWorkers resolves the worker count for a scatter-gather run: shards
+// are the unit of partitioning, so the pool never exceeds the candidate
+// shard count. Auto applies the same cardinality rule as the plain driver —
+// small enumerations stay sequential regardless of shard count — capped at
+// GOMAXPROCS (always sequential on a single core).
+func (p *Plan) scatterWorkers(opts Options, cands int) int {
+	w := 1
+	switch {
+	case opts.Parallel == Auto:
+		w = runtime.GOMAXPROCS(0)
+		if byCard := p.maxCard / tuplesPerWorker; byCard < w {
+			w = byCard
 		}
-		if !ok {
-			return nil
-		}
+	case opts.Parallel > 1:
+		w = opts.Parallel
 	}
+	if w > cands {
+		w = cands
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
-	// Only constants are bound at depth 0; they determine both the in-shard
-	// lookup and the shard pruning.
-	atomIdx := order[0]
-	a := q.Atoms[atomIdx]
-	var lookupCols []int
+// scatterFrames enumerates the plan scatter-gather across the partitioned
+// view's shards: the first step scans each candidate shard's local relation
+// (pruned through CandidateShards when the step binds the shard key), and
+// deeper steps run against the union view, which prunes per lookup.
+func (p *Plan) scatterFrames(opts Options, fn frameFn) error {
+	part := p.part
+	st0 := &p.steps[0]
 	var lookupVals []string
-	for i, t := range a.Args {
-		if t.IsConst {
-			lookupCols = append(lookupCols, i)
-			lookupVals = append(lookupVals, t.Value)
+	if len(st0.lookupCols) > 0 {
+		// Only constants can be bound at depth 0; they determine both the
+		// in-shard lookup and the shard pruning.
+		lookupVals = make([]string, len(st0.lookupSrc))
+		for i, src := range st0.lookupSrc {
+			lookupVals[i] = src.konst
 		}
 	}
-	cands := p.CandidateShards(a.Pred, lookupCols, lookupVals)
+	cands := part.CandidateShards(st0.pred, st0.lookupCols, lookupVals)
 	if cands == nil {
-		cands = make([]int, p.NumShards())
+		cands = make([]int, part.NumShards())
 		for i := range cands {
 			cands[i] = i
 		}
@@ -89,38 +108,32 @@ func EvalBindingsSharded(p Partitioned, q *cq.Query, opts Options, fn func(b Bin
 		return nil
 	}
 
-	// scanShard enumerates the first atom inside one shard and descends the
-	// remaining atoms against the union view through ev.
-	scanShard := func(ev *evaluator, si int) error {
-		rel := p.Shard(si).Relation(a.Pred)
+	// scanShard enumerates the first step inside one shard and descends the
+	// remaining steps against the union view through e.
+	scanShard := func(e *exec, si int) error {
+		rel := part.Shard(si).Relation(st0.pred)
 		if rel == nil {
 			return nil
 		}
-		b := make(Binding)
-		matches := make([]Match, 1, len(order))
 		var iterErr error
 		iter := func(t storage.Tuple) bool {
-			added, ok := bindAtom(a, t, b)
-			if ok {
-				matches[0] = Match{AtomIndex: atomIdx, Rel: a.Pred, Tuple: t}
-				if err := ev.step(1, order, compAt, b, matches); err != nil {
-					iterErr = err
-				}
+			if err := e.feed(0, t); err != nil {
+				iterErr = err
+				return false
 			}
-			for _, name := range added {
-				delete(b, name)
-			}
-			return iterErr == nil
+			return true
 		}
-		if len(lookupCols) > 0 {
-			rel.Lookup(lookupCols, lookupVals, iter)
+		if len(st0.lookupCols) > 0 {
+			rel.Lookup(st0.lookupCols, lookupVals, iter)
 		} else {
 			rel.Scan(iter)
 		}
 		return iterErr
 	}
 
-	if opts.Parallel <= 1 || len(cands) == 1 {
+	workers := p.scatterWorkers(opts, len(cands))
+	if workers <= 1 {
+		e := p.newExec(fn)
 		for _, si := range cands {
 			if err := scanShard(e, si); err != nil {
 				return err
@@ -129,26 +142,22 @@ func EvalBindingsSharded(p Partitioned, q *cq.Query, opts Options, fn func(b Bin
 		return nil
 	}
 
-	// Concurrent scatter: one worker per candidate shard, capped at
-	// opts.Parallel; deliveries are serialized through the sink so the
-	// callback keeps the sequential single-threaded contract.
+	// Concurrent scatter: one worker per candidate shard, capped at the
+	// resolved worker count; deliveries are serialized through the sink so
+	// the callback keeps the sequential single-threaded contract.
 	sink := newSerialSink(fn)
-	workers := opts.Parallel
-	if workers > len(cands) {
-		workers = len(cands)
-	}
 	shardCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			we := &evaluator{db: p, q: q, fn: sink.deliver}
+			e := p.newExec(sink.deliver)
 			for si := range shardCh {
 				if sink.stopped() {
 					continue // drain remaining shard indexes
 				}
-				if err := scanShard(we, si); err != nil && err != errStopped {
+				if err := scanShard(e, si); err != nil && err != errStopped {
 					sink.abort(err)
 				}
 			}

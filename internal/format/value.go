@@ -42,27 +42,45 @@ func L(vals ...Value) Value { return Value{Kind: KList, List: vals} }
 func O(obj *Object) Value { return Value{Kind: KObject, Obj: obj} }
 
 // Key returns a canonical encoding of the value (objects by sorted keys), so
-// equal values collide regardless of construction order.
+// equal values collide regardless of construction order. The encoding is
+// built into one growing buffer — record combinators key every operand, so
+// this sits on the citation hot path.
 func (v Value) Key() string {
+	return string(v.appendKey(make([]byte, 0, 64)))
+}
+
+func (v Value) appendKey(buf []byte) []byte {
 	switch v.Kind {
 	case KString:
-		return "s" + strconv.Quote(v.Str)
+		buf = append(buf, 's')
+		return strconv.AppendQuote(buf, v.Str)
 	case KList:
-		parts := make([]string, len(v.List))
+		buf = append(buf, 'l', '[')
 		for i, e := range v.List {
-			parts[i] = e.Key()
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = e.appendKey(buf)
 		}
-		return "l[" + strings.Join(parts, ",") + "]"
+		return append(buf, ']')
 	case KObject:
-		keys := append([]string(nil), v.Obj.keys...)
-		sort.Strings(keys)
-		parts := make([]string, len(keys))
-		for i, k := range keys {
-			parts[i] = strconv.Quote(k) + ":" + v.Obj.vals[k].Key()
+		keys := v.Obj.keys
+		if !sort.StringsAreSorted(keys) {
+			keys = append([]string(nil), keys...)
+			sort.Strings(keys)
 		}
-		return "o{" + strings.Join(parts, ",") + "}"
+		buf = append(buf, 'o', '{')
+		for i, k := range keys {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendQuote(buf, k)
+			buf = append(buf, ':')
+			buf = v.Obj.vals[k].appendKey(buf)
+		}
+		return append(buf, '}')
 	}
-	return "?"
+	return append(buf, '?')
 }
 
 // Equal reports semantic equality (object key order ignored, list order

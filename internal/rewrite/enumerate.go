@@ -3,6 +3,8 @@ package rewrite
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"citare/internal/cq"
 )
@@ -34,15 +36,26 @@ type candidate struct {
 	touched map[string]bool
 }
 
+// key returns a collision-free identity for deduplication: the view index,
+// the length-prefixed head-argument keys (term keys may contain arbitrary
+// constant bytes, so explicit framing — not rendering the slice — keeps
+// distinct candidates distinct), and the covered atom indices.
 func (c *candidate) key() string {
-	parts := []string{fmt.Sprint(c.viewIdx)}
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(c.viewIdx))
 	for _, t := range c.args {
-		parts = append(parts, t.Key())
+		k := t.Key()
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
 	}
+	sb.WriteByte('#')
 	for _, i := range c.covered {
-		parts = append(parts, fmt.Sprint(i))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(i))
 	}
-	return fmt.Sprint(parts)
+	return sb.String()
 }
 
 // Enumerate returns the rewritings of q using the views, per Definition 2.2.

@@ -200,9 +200,12 @@ func (r *Rewriting) String() string {
 }
 
 // Key returns a canonical identity for deduplication (subgoal order
-// independent).
+// independent). Each part carries a kind tag and self-delimiting content —
+// view atoms render with strconv-quoted constants, base atoms and
+// comparisons use the \x00-framed term keys — so the sorted ";" join cannot
+// make two distinct rewritings collide.
 func (r *Rewriting) Key() string {
-	var parts []string
+	parts := make([]string, 0, len(r.ViewAtoms)+len(r.BaseAtoms)+len(r.Comps))
 	for _, va := range r.ViewAtoms {
 		parts = append(parts, "V"+va.String())
 	}
@@ -213,7 +216,14 @@ func (r *Rewriting) Key() string {
 		parts = append(parts, "C"+c.Key())
 	}
 	sort.Strings(parts)
-	return strings.Join(parts, ";")
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(p)
+	}
+	return sb.String()
 }
 
 // Expand replaces every view atom by the view's body (existential variables

@@ -34,12 +34,14 @@
 //
 // # Scatter-gather evaluation and merge semantics
 //
-// eval.EvalSharded / EvalBindingsSharded partition the first atom of the
-// greedy join order by shard instead of by fixed worker count: each
-// candidate shard enumerates its slice of the first atom locally, and the
-// descent through deeper atoms runs against the union view (which prunes
-// per lookup). Because the parts partition every relation, the union of the
-// per-shard enumerations is exactly the sequential binding multiset, so
+// eval.Compile detects a Partitioned view and compiles a scatter-gather
+// plan: the first step of the physical join order is partitioned by shard
+// instead of by fixed worker count — each candidate shard enumerates its
+// slice of the first atom locally (its relation handle resolved per shard
+// at execution), and the descent through deeper steps runs against the
+// union-view handles resolved once at compile time (pruning per lookup).
+// Because the parts partition every relation, the union of the per-shard
+// enumerations is exactly the sequential binding multiset, so
 //
 //   - binding callbacks see the same multiset in unspecified order (they are
 //     serialized, never concurrent), and

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -22,14 +23,20 @@ func (t Tuple) Clone() Tuple {
 }
 
 // encodeValues length-prefixes each value, yielding a collision-free key
-// for arbitrary value contents.
+// for arbitrary value contents. It is the key builder behind every hash
+// probe, so it appends into one sized buffer instead of formatting.
 func encodeValues(vals []string) string {
-	var sb strings.Builder
+	n := 0
 	for _, v := range vals {
-		fmt.Fprintf(&sb, "%d:", len(v))
-		sb.WriteString(v)
+		n += len(v) + 4
 	}
-	return sb.String()
+	buf := make([]byte, 0, n)
+	for _, v := range vals {
+		buf = strconv.AppendInt(buf, int64(len(v)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return string(buf)
 }
 
 // Relation is a set of tuples with on-demand hash indexes.
