@@ -1,0 +1,140 @@
+package citare
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"citare/internal/core"
+	"citare/internal/cq"
+)
+
+// batchGroup is one equivalence class of a batch: requests whose queries
+// canonicalize to the same key (and share the output-affecting options)
+// evaluate once and share the resulting citation.
+type batchGroup struct {
+	q       *cq.Query
+	opts    core.CiteOptions
+	indices []int // positions in the original request slice
+}
+
+// batchKey canonicalizes a parsed request for grouping: syntactic variants
+// of the same query — reordered bodies, renamed variables, redundant atoms —
+// share a key, suffixed with the options that can change the citation or
+// the error behavior (MaxRewritings, MaxTuples; Parallel only changes the
+// schedule, never the output). Unsatisfiable queries fall back to the raw
+// syntactic key — they are cheap to evaluate and need no sharing.
+func batchKey(q *cq.Query, req Request) string {
+	key, ok := cacheKey(q)
+	if !ok {
+		key = "unsat\x00" + q.Key()
+	}
+	return key + "\x00mr=" + strconv.Itoa(req.MaxRewritings) + "\x00mt=" + strconv.Itoa(req.MaxTuples)
+}
+
+// CiteBatch evaluates a batch of requests, amortizing work across them:
+// requests are grouped by the canonical form of their query, each group's
+// logical plan compiles exactly once and its citation evaluates exactly
+// once (the group members share the resulting *Citation), distinct groups
+// evaluate concurrently, and lazy view materialization inside the engine's
+// epoch state is shared across the whole batch. The output is identical to
+// len(reqs) independent Cite calls.
+//
+// The batch is all-or-nothing: a request that fails to parse aborts the
+// batch before any evaluation starts (a *BatchError names the first such
+// request); otherwise the first failing request in batch order aborts it,
+// and the remaining groups are canceled rather than evaluated to
+// completion. Canceling ctx aborts every in-flight group with ErrCanceled.
+func (c *Citer) CiteBatch(ctx context.Context, reqs []Request) ([]*Citation, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([]*Citation, len(reqs))
+	errs := make([]error, len(reqs))
+
+	// Group requests by canonical query + output-affecting options. The
+	// first member's request supplies the group's evaluation options. Parse
+	// failures are cheap and known up front, so they abort the whole batch
+	// before any evaluation is spent on it.
+	groups := make(map[string]*batchGroup, len(reqs))
+	var order []*batchGroup
+	for i, req := range reqs {
+		q, err := req.parse(c.schema)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		key := batchKey(q, req)
+		g := groups[key]
+		if g == nil {
+			g = &batchGroup{q: q, opts: req.citeOptions()}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	// Evaluate distinct groups concurrently (the engine is safe for
+	// concurrent Cite) with a worker cap; each group's members share the
+	// single evaluated citation. The first failure cancels the shared
+	// context so sibling groups stop instead of finishing work the batch
+	// will discard anyway.
+	ctx, cancelBatch := context.WithCancel(ctx)
+	defer cancelBatch()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, g := range order {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := c.engine.CiteCtx(ctx, g.q, g.opts)
+			for _, i := range g.indices {
+				if err != nil {
+					errs[i] = classify(err)
+					continue
+				}
+				out[i] = &Citation{res: res, format: reqs[i].renderFormat()}
+			}
+			if err != nil {
+				cancelBatch()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			// Siblings canceled by the batch's own abort are collateral: the
+			// earliest non-cancellation failure is the one to report, unless
+			// the whole batch was canceled from outside.
+			if errors.Is(err, ErrCanceled) && ctx.Err() != nil {
+				if first := firstRealError(errs); first != nil {
+					return nil, first
+				}
+			}
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// firstRealError returns the first batch error that is not a cancellation,
+// wrapped with its index — the failure that triggered the batch abort.
+func firstRealError(errs []error) *BatchError {
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package citare
+
+// CiteBatch tests: byte-identical parity with independent Cite calls,
+// logical-plan compilation shared across equivalent requests (asserted via
+// the engine's plan-cache counters), cache interplay, and batch errors.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"citare/internal/gtopdb"
+)
+
+// batchRequests is a mixed batch: k copies of the paper join (two written
+// as syntactic variants), a SQL spelling of another query, and a point
+// lookup.
+func batchRequests(k int) []Request {
+	reqs := make([]Request, 0, k+2)
+	for i := 0; i < k; i++ {
+		q := gpcrJoinDatalog
+		if i%2 == 1 {
+			// Same query, different surface syntax: body reordered and
+			// variables renamed — must share the group.
+			q = `Q(Name) :- FamilyIntro(Fid, Text), Family(Fid, Name, Kind), Kind = "gpcr"`
+		}
+		reqs = append(reqs, Request{Datalog: q})
+	}
+	reqs = append(reqs,
+		Request{SQL: `SELECT f.FName, p.PName FROM Family f, FC c, Person p WHERE f.FID = c.FID AND c.PID = p.PID AND f.FID = '11'`},
+		Request{Datalog: `Q(N) :- Family(F, N, Ty), F = "11"`},
+	)
+	return reqs
+}
+
+// TestCiteBatchParity: CiteBatch output is byte-identical to N independent
+// Cite calls on an identically constructed Citer.
+func TestCiteBatchParity(t *testing.T) {
+	reqs := batchRequests(6)
+	batchCiter := newPaperCiter(t, WithNeutralCitation(gtopdb.DatabaseCitation()))
+	soloCiter := newPaperCiter(t, WithNeutralCitation(gtopdb.DatabaseCitation()))
+
+	got, err := batchCiter.CiteBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("results: %d, want %d", len(got), len(reqs))
+	}
+	for i, req := range reqs {
+		want, err := soloCiter.Cite(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].CitationJSON() != want.CitationJSON() {
+			t.Fatalf("request %d citation diverged:\n got %s\nwant %s", i, got[i].CitationJSON(), want.CitationJSON())
+		}
+		gr, wr := got[i].Rows(), want.Rows()
+		if len(gr) != len(wr) {
+			t.Fatalf("request %d rows: %d vs %d", i, len(gr), len(wr))
+		}
+		for ti := range gr {
+			gp, _ := got[i].TuplePolynomialAt(ti)
+			wp, _ := want.TuplePolynomialAt(ti)
+			if gp != wp {
+				t.Fatalf("request %d tuple %d polynomial diverged: %q vs %q", i, ti, gp, wp)
+			}
+			gj, _ := got[i].TupleCitationJSONAt(ti)
+			wj, _ := want.TupleCitationJSONAt(ti)
+			if gj != wj {
+				t.Fatalf("request %d tuple %d citation diverged", i, ti)
+			}
+		}
+		gotOut, err := got[i].Rendered()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOut, err := want.Rendered()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOut != wantOut {
+			t.Fatalf("request %d rendering diverged", i)
+		}
+	}
+}
+
+// TestCiteBatchCompilesOnce: a batch of k equivalent requests compiles its
+// logical plan exactly once, asserted via the engine's plan-cache counters;
+// a mixed batch compiles once per equivalence class.
+func TestCiteBatchCompilesOnce(t *testing.T) {
+	c := newPaperCiter(t)
+	k := 8
+	reqs := make([]Request, k)
+	for i := range reqs {
+		q := gpcrJoinDatalog
+		if i%2 == 1 {
+			q = `Q(Name) :- FamilyIntro(Fid, Text), Family(Fid, Name, Kind), Kind = "gpcr"`
+		}
+		reqs[i] = Request{Datalog: q}
+	}
+	if _, err := c.CiteBatch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Engine().LogicalPlanStats(); misses != 1 || hits != 0 {
+		t.Fatalf("k equivalent requests: %d misses / %d hits, want exactly 1 compilation", misses, hits)
+	}
+
+	// Mixed batch on a fresh engine: one compilation per equivalence class.
+	c2 := newPaperCiter(t)
+	if _, err := c2.CiteBatch(context.Background(), batchRequests(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c2.Engine().LogicalPlanStats(); misses != 3 {
+		t.Fatalf("mixed batch: %d compilations, want 3 (one per distinct query)", misses)
+	}
+}
+
+// TestCiteBatchErrors: all-or-nothing failure naming the first bad request
+// in batch order, and cancellation tagging.
+func TestCiteBatchErrors(t *testing.T) {
+	c := newPaperCiter(t)
+	ctx := context.Background()
+
+	_, err := c.CiteBatch(ctx, []Request{
+		{Datalog: gpcrJoinDatalog},
+		{Datalog: "Q(X) :-"},
+		{SQL: "SELEKT"},
+	})
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 || !errors.Is(err, ErrParse) {
+		t.Fatalf("err = %v, want BatchError{Index: 1} tagged ErrParse", err)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err = c.CiteBatch(canceled, []Request{{Datalog: gpcrJoinDatalog}})
+	if !errors.As(err, &be) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want BatchError tagged ErrCanceled", err)
+	}
+
+	if res, err := c.CiteBatch(ctx, nil); res != nil || err != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+// TestCachedCiterBatch: the cached batch serves hits from the cache, routes
+// misses through the plan-shared batch, and fills the cache for later
+// single-request hits.
+func TestCachedCiterBatch(t *testing.T) {
+	cached := NewCached(newPaperCiter(t))
+	ctx := context.Background()
+
+	reqs := batchRequests(4)
+	got, err := cached.CiteBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine saw one evaluation per equivalence class, not per request.
+	if _, misses := cached.Citer().Engine().LogicalPlanStats(); misses != 3 {
+		t.Fatalf("engine compiled %d plans, want 3", misses)
+	}
+	// A later single request hits the cache without touching the engine.
+	_, preMisses := cached.Citer().Engine().LogicalPlanStats()
+	again, err := cached.Cite(ctx, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, postMisses := cached.Citer().Engine().LogicalPlanStats(); postMisses != preMisses {
+		t.Fatal("single request after batch recompiled instead of hitting the cache")
+	}
+	if again.CitationJSON() != got[0].CitationJSON() {
+		t.Fatal("cached citation diverged from batch result")
+	}
+
+	// A second identical batch is served fully from the cache.
+	hitsBefore := func() uint64 { s := cached.CacheStats(); return s.Hits }()
+	again2, err := cached.CiteBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cached.CacheStats(); s.Hits <= hitsBefore {
+		t.Fatalf("second batch produced no cache hits (hits %d -> %d)", hitsBefore, s.Hits)
+	}
+	for i := range reqs {
+		if again2[i].CitationJSON() != got[i].CitationJSON() {
+			t.Fatalf("request %d diverged across batches", i)
+		}
+	}
+}

@@ -1,13 +1,13 @@
 package citare
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"citare/internal/cache"
 	"citare/internal/cq"
-	"citare/internal/datalog"
-	"citare/internal/sqlfe"
 )
 
 // citationCacheSize bounds the citation cache (sharded LRU, entries).
@@ -19,7 +19,8 @@ const citationCacheSize = 4096
 // query — reordered bodies, renamed variables, redundant atoms — hit the
 // same entry. That is safe precisely because citations are plan-independent
 // (the paper's note after Example 3.3): equivalent queries have equal
-// citations.
+// citations. Requests whose options change the citation or the error
+// behavior (MaxRewritings, MaxTuples) key separate entries.
 //
 // CachedCiter is safe for concurrent use: entries live in a sharded LRU
 // whose shards lock independently, and concurrent misses on the same query
@@ -40,37 +41,153 @@ func NewCached(c *Citer) *CachedCiter {
 	return &CachedCiter{citer: c, entries: cache.NewSharded[*Citation](16, citationCacheSize)}
 }
 
-// CiteSQL parses and cites a SQL query through the cache.
-func (c *CachedCiter) CiteSQL(sql string) (*Citation, error) {
-	q, err := sqlfe.Parse(c.citer.schema, sql)
+// Citer returns the underlying (uncached) Citer.
+func (c *CachedCiter) Citer() *Citer { return c.citer }
+
+// Cite evaluates one request through the cache: equivalent queries under
+// the same output-affecting options share one cached citation, and
+// concurrent misses collapse into a single engine call. The context applies
+// to the computation on a miss; cancellation surfaces as ErrCanceled and is
+// never cached.
+func (c *CachedCiter) Cite(ctx context.Context, req Request) (*Citation, error) {
+	q, err := req.parse(c.citer.schema)
 	if err != nil {
 		return nil, err
 	}
-	return c.cite(q)
-}
-
-// CiteDatalog parses and cites a datalog query through the cache.
-func (c *CachedCiter) CiteDatalog(src string) (*Citation, error) {
-	q, err := datalog.ParseQuery(src)
-	if err != nil {
-		return nil, err
-	}
-	return c.cite(q)
-}
-
-func (c *CachedCiter) cite(q *cq.Query) (*Citation, error) {
 	key, ok := cacheKey(q)
 	if !ok {
 		// Unsatisfiable queries are cheap; skip the cache.
-		return c.citer.cite(q)
+		res, err := c.citer.engine.CiteCtx(ctx, q, req.citeOptions())
+		if err != nil {
+			return nil, classify(err)
+		}
+		return &Citation{res: res, format: req.renderFormat()}, nil
 	}
 	// Read the epoch before citing: a result computed against an older
 	// engine state then lands under an old-epoch key, invisible to readers
-	// of the new epoch.
-	key = fmt.Sprintf("%d|%s", c.epoch.Load(), key)
-	return c.entries.GetOrCompute(key, func() (*Citation, error) {
-		return c.citer.cite(q)
-	})
+	// of the new epoch. Option fields that change the output are part of
+	// the key; the render format is not (it only selects a renderer), so a
+	// hit is re-wrapped with this request's format.
+	key = fmt.Sprintf("%d|mr=%d|mt=%d|%s", c.epoch.Load(), req.MaxRewritings, req.MaxTuples, key)
+	compute := func() (*Citation, error) {
+		res, err := c.citer.engine.CiteCtx(ctx, q, req.citeOptions())
+		if err != nil {
+			return nil, classify(err)
+		}
+		return &Citation{res: res, format: req.renderFormat()}, nil
+	}
+	var ct *Citation
+	for attempt := 0; ; attempt++ {
+		ct, err = c.entries.GetOrCompute(key, compute)
+		// Concurrent misses share one computation, which runs under the
+		// *leader's* context: if the leader's client went away, every waiter
+		// inherits its cancellation. A waiter whose own context is still
+		// alive must not fail for someone else's disconnect — retry (the
+		// retrier usually becomes the new leader); after a few doomed joins,
+		// compute directly without the singleflight.
+		if err == nil || !errors.Is(err, ErrCanceled) || ctx.Err() != nil {
+			break
+		}
+		if attempt == 2 {
+			ct, err = compute()
+			break
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ct.format != req.renderFormat() {
+		withFormat := *ct
+		withFormat.format = req.renderFormat()
+		ct = &withFormat
+	}
+	return ct, nil
+}
+
+// CiteBatch evaluates a batch through the cache: cached requests are served
+// immediately, the remaining distinct queries evaluate through the
+// underlying Citer's plan-shared CiteBatch (one compilation and one
+// evaluation per equivalence class, concurrent across classes), and their
+// results are cached for later requests. Semantics match Citer.CiteBatch:
+// all-or-nothing, parse failures abort before any evaluation, and a
+// *BatchError names the failing request.
+func (c *CachedCiter) CiteBatch(ctx context.Context, reqs []Request) ([]*Citation, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([]*Citation, len(reqs))
+	var missIdx []int
+	var missKeys []string // "" = unsatisfiable, not cacheable
+	epoch := c.epoch.Load()
+	for i, req := range reqs {
+		q, err := req.parse(c.citer.schema)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		key, ok := cacheKey(q)
+		if !ok {
+			missIdx = append(missIdx, i)
+			missKeys = append(missKeys, "")
+			continue
+		}
+		key = fmt.Sprintf("%d|mr=%d|mt=%d|%s", epoch, req.MaxRewritings, req.MaxTuples, key)
+		if ct, hit := c.entries.Get(key); hit {
+			if ct.format != req.renderFormat() {
+				withFormat := *ct
+				withFormat.format = req.renderFormat()
+				ct = &withFormat
+			}
+			out[i] = ct
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missKeys = append(missKeys, key)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	missReqs := make([]Request, len(missIdx))
+	for j, i := range missIdx {
+		missReqs[j] = reqs[i]
+	}
+	computed, err := c.citer.CiteBatch(ctx, missReqs)
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			// Map the sub-batch index back to the original request slice.
+			return nil, &BatchError{Index: missIdx[be.Index], Err: be.Err}
+		}
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = computed[j]
+		if missKeys[j] != "" {
+			c.entries.Put(missKeys[j], computed[j])
+		}
+	}
+	return out, nil
+}
+
+// CiteEach streams per-tuple citations for one request; streaming results
+// are not cached. See Citer.CiteEach.
+func (c *CachedCiter) CiteEach(ctx context.Context, req Request, fn func(Tuple) error) error {
+	return c.citer.CiteEach(ctx, req, fn)
+}
+
+// CiteSQL parses and cites a SQL query through the cache.
+//
+// Deprecated: use Cite with a Request — it adds cancellation, per-request
+// options and typed errors.
+func (c *CachedCiter) CiteSQL(sql string) (*Citation, error) {
+	return c.Cite(context.Background(), Request{SQL: sql})
+}
+
+// CiteDatalog parses and cites a datalog query through the cache.
+//
+// Deprecated: use Cite with a Request — it adds cancellation, per-request
+// options and typed errors.
+func (c *CachedCiter) CiteDatalog(src string) (*Citation, error) {
+	return c.Cite(context.Background(), Request{Datalog: src})
 }
 
 // cacheKey canonicalizes the query: normalize constants, minimize to the

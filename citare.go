@@ -13,9 +13,39 @@
 //
 //	db := gtopdb.PaperInstance()                  // or your own storage.DB
 //	citer, err := citare.NewFromProgram(db, gtopdb.ViewsProgram)
-//	res, err := citer.CiteSQL(`SELECT f.FName FROM Family f, FamilyIntro i
-//	                           WHERE f.FID = i.FID AND f.Type = 'gpcr'`)
+//	res, err := citer.Cite(ctx, citare.Request{
+//	        SQL: `SELECT f.FName FROM Family f, FamilyIntro i
+//	              WHERE f.FID = i.FID AND f.Type = 'gpcr'`,
+//	})
 //	fmt.Println(res.CitationJSON())
+//
+// # Request model
+//
+// The request API is context-first: every entry point takes a
+// context.Context and a Request. The context governs the whole pipeline —
+// cancel it (or let its deadline expire) and the evaluation stops at the
+// next partition or frame boundary in whichever execution strategy is
+// running, returning an error tagged ErrCanceled instead of burning cores
+// on an answer nobody is waiting for. The Request carries per-request
+// knobs: the render Format, a Parallel override, a MaxRewritings bound and
+// a MaxTuples result cap (exceeding it fails with ErrLimit).
+//
+//   - Cite(ctx, req) evaluates one request.
+//   - CiteBatch(ctx, reqs) evaluates many at once: requests whose queries
+//     canonicalize to the same form share one logical-plan compilation and
+//     one evaluation, distinct groups run concurrently, and view
+//     materialization is shared across the whole batch. Output is identical
+//     to independent Cite calls.
+//   - CiteEach(ctx, req, fn) streams per-tuple citations in deterministic
+//     order without materializing the full result — for paging very large
+//     answers.
+//
+// Failures are classified by a typed taxonomy — ErrParse, ErrSchema,
+// ErrCanceled, ErrLimit — inspected with errors.Is; the original cause
+// (parser position errors, context errors) stays reachable via errors.As.
+//
+// The old CiteSQL / CiteDatalog methods remain as deprecated one-line
+// wrappers over Cite with a background context.
 //
 // The package wires together the internal engine; the model itself lives in
 // internal/core (citation views, semiring, orders, policies), internal/
@@ -64,14 +94,13 @@
 package citare
 
 import (
+	"context"
 	"fmt"
 
 	"citare/internal/core"
-	"citare/internal/cq"
 	"citare/internal/datalog"
 	"citare/internal/format"
 	"citare/internal/shard"
-	"citare/internal/sqlfe"
 	"citare/internal/storage"
 )
 
@@ -212,12 +241,12 @@ func (c *Citer) Engine() *core.Engine { return c.engine }
 func (c *Citer) Reset() error { return c.engine.Reset() }
 
 // CiteSQL parses a conjunctive SQL query and computes its citation.
+//
+// Deprecated: use Cite with a Request — it adds cancellation, per-request
+// options and typed errors. CiteSQL is Cite(context.Background(),
+// Request{SQL: sql}).
 func (c *Citer) CiteSQL(sql string) (*Citation, error) {
-	q, err := sqlfe.Parse(c.schema, sql)
-	if err != nil {
-		return nil, err
-	}
-	return c.cite(q)
+	return c.Cite(context.Background(), Request{SQL: sql})
 }
 
 // CiteDatalog parses a query in the paper's notation, e.g.
@@ -225,26 +254,20 @@ func (c *Citer) CiteSQL(sql string) (*Citation, error) {
 //	Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)
 //
 // and computes its citation.
+//
+// Deprecated: use Cite with a Request — it adds cancellation, per-request
+// options and typed errors. CiteDatalog is Cite(context.Background(),
+// Request{Datalog: src}).
 func (c *Citer) CiteDatalog(src string) (*Citation, error) {
-	q, err := datalog.ParseQuery(src)
-	if err != nil {
-		return nil, err
-	}
-	return c.cite(q)
-}
-
-func (c *Citer) cite(q *cq.Query) (*Citation, error) {
-	res, err := c.engine.Cite(q)
-	if err != nil {
-		return nil, err
-	}
-	return &Citation{res: res}, nil
+	return c.Cite(context.Background(), Request{Datalog: src})
 }
 
 // Citation is the outcome of citing one query: the answer tuples, the
 // per-tuple citations, and the aggregated result-set citation.
 type Citation struct {
 	res *core.Result
+	// format is the request's render format, used by Rendered.
+	format string
 }
 
 // Columns returns the output column labels.
@@ -270,19 +293,44 @@ func (ct *Citation) Rewritings() []string {
 
 // TuplePolynomial renders the i-th tuple's citation polynomial, e.g.
 // CV1("13")·CV2("13") + CV4("gpcr")·CV2("13").
+//
+// Deprecated: an out-of-range index silently returns "", indistinguishable
+// from an empty citation; use TuplePolynomialAt, which reports it as an
+// error tagged ErrRange.
 func (ct *Citation) TuplePolynomial(i int) string {
+	s, _ := ct.TuplePolynomialAt(i)
+	return s
+}
+
+// TuplePolynomialAt renders the i-th tuple's citation polynomial, e.g.
+// CV1("13")·CV2("13") + CV4("gpcr")·CV2("13"). An out-of-range index fails
+// with an error tagged ErrRange, so a missing tuple can never be mistaken
+// for a tuple with an empty citation.
+func (ct *Citation) TuplePolynomialAt(i int) (string, error) {
 	if i < 0 || i >= len(ct.res.Tuples) {
-		return ""
+		return "", fmt.Errorf("%w: tuple %d of %d", ErrRange, i, len(ct.res.Tuples))
 	}
-	return core.PolyString(ct.res.Tuples[i].Combined)
+	return core.PolyString(ct.res.Tuples[i].Combined), nil
 }
 
 // TupleCitationJSON renders the i-th tuple's citation record as JSON.
+//
+// Deprecated: an out-of-range index silently returns "", indistinguishable
+// from an empty citation; use TupleCitationJSONAt, which reports it as an
+// error tagged ErrRange.
 func (ct *Citation) TupleCitationJSON(i int) string {
+	s, _ := ct.TupleCitationJSONAt(i)
+	return s
+}
+
+// TupleCitationJSONAt renders the i-th tuple's citation record as JSON. An
+// out-of-range index fails with an error tagged ErrRange, so a missing
+// tuple can never be mistaken for a tuple with an empty citation.
+func (ct *Citation) TupleCitationJSONAt(i int) (string, error) {
 	if i < 0 || i >= len(ct.res.Tuples) {
-		return ""
+		return "", fmt.Errorf("%w: tuple %d of %d", ErrRange, i, len(ct.res.Tuples))
 	}
-	return ct.res.Tuples[i].Rendered.JSON()
+	return ct.res.Tuples[i].Rendered.JSON(), nil
 }
 
 // CitationJSON renders the aggregated result-set citation as compact JSON.
@@ -293,9 +341,23 @@ func (ct *Citation) CitationJSON() string { return ct.res.Citation.JSON() }
 func (ct *Citation) Render(formatName string) (string, error) {
 	r, err := format.RendererByName(formatName)
 	if err != nil {
-		return "", err
+		return "", parseError(err)
 	}
 	return r.Render(ct.res.Citation), nil
+}
+
+// Rendered renders the aggregated citation in the originating Request's
+// Format (json when the citation did not come from a Request or the
+// request left Format empty).
+func (ct *Citation) Rendered() (string, error) { return ct.Render(ct.Format()) }
+
+// Format returns the citation's effective render format: the originating
+// Request's Format, defaulting to json.
+func (ct *Citation) Format() string {
+	if ct.format == "" {
+		return "json"
+	}
+	return ct.format
 }
 
 // NumTuples returns the number of answer tuples.

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,7 +43,7 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B16)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B17)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
 	regress := flag.String("regress", "", "compare two committed bench JSON files OLD,NEW and report allocs/op regressions")
 	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
@@ -90,6 +91,7 @@ func main() {
 		{"B14", "sharded snapshot cost vs shard count", runB14},
 		{"B15", "pruned point-lookup citations", runB15},
 		{"B16", "scatter-gather join throughput", runB16},
+		{"B17", "batch throughput: CiteBatch vs independent Cite", runB17},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -574,6 +576,74 @@ func runB16() error {
 	return nil
 }
 
+// runB17 measures batch throughput: k requests through CiteBatch (grouped
+// by canonical query, one evaluation per equivalence class, concurrent
+// groups) against the same k requests as independent Cite calls.
+func runB17() error {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 500
+	db := gtopdb.Generate(cfg)
+	const k = 16
+	const joinQ = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`
+	variants := []string{
+		joinQ,
+		`Q(Name, Text) :- FamilyIntro(Fid, Text), Family(Fid, Name, Kind), Kind = "type-01"`,
+	}
+	mixed := []string{
+		joinQ,
+		`Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = "250"`,
+		`Q(N) :- Family(F, N, Ty), Ty = "type-02"`,
+		`Q(N, Pn) :- Family(F, N, Ty), FC(F, P), Person(P, Pn, A), F = "100"`,
+	}
+	build := func(pool []string) []citare.Request {
+		reqs := make([]citare.Request, k)
+		for i := range reqs {
+			reqs[i] = citare.Request{Datalog: pool[i%len(pool)]}
+		}
+		return reqs
+	}
+	ctx := context.Background()
+	fmt.Println("   | workload        | mode        | time/batch |")
+	fmt.Println("   |-----------------|-------------|-----------:|")
+	for _, wl := range []struct {
+		name string
+		pool []string
+	}{
+		{"equivalent k=16", variants},
+		{"mixed k=16", mixed},
+	} {
+		reqs := build(wl.pool)
+		citer, err := citare.NewFromProgram(db, gtopdb.ViewsProgram)
+		if err != nil {
+			return err
+		}
+		if _, err := citer.Cite(ctx, citare.Request{Datalog: joinQ}); err != nil {
+			return err // warm view materialization
+		}
+		dBatch, err := timed(20, func() error {
+			_, err := citer.CiteBatch(ctx, reqs)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		dSolo, err := timed(20, func() error {
+			for _, req := range reqs {
+				if _, err := citer.Cite(ctx, req); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %-15s | %-11s | %10s |\n", wl.name, "CiteBatch", dBatch.Round(time.Microsecond))
+		fmt.Printf("   | %-15s | %-11s | %10s |\n", wl.name, "independent", dSolo.Round(time.Microsecond))
+	}
+	return nil
+}
+
 // allocRegressionTolerance is the allocs/op ratio (new/old) above which a
 // benchmark counts as regressed. Generous on purpose: allocation counts are
 // deterministic but small suites jitter a little with map layouts and LRU
@@ -699,6 +769,13 @@ func writeBenchJSON(path string) error {
 			b.Fatal(err)
 		}
 	}
+	batchReqs := func(k int, pool []string) []citare.Request {
+		reqs := make([]citare.Request, k)
+		for i := range reqs {
+			reqs[i] = citare.Request{Datalog: pool[i%len(pool)]}
+		}
+		return reqs
+	}
 	suite := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -747,6 +824,43 @@ func writeBenchJSON(path string) error {
 		{"join/chain3-600/scatter-gather/shards=4", func(b *testing.B) { // B16
 			for i := 0; i < b.N; i++ {
 				if _, err := eval.EvalSharded(chain4, chainQ, eval.Options{Parallel: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cite-batch/equivalent-k=16/families=500", func(b *testing.B) { // B17
+			reqs := batchReqs(16, []string{
+				joinQ,
+				`Q(Name, Text) :- FamilyIntro(Fid, Text), Family(Fid, Name, Kind), Kind = "type-01"`,
+			})
+			for i := 0; i < b.N; i++ {
+				if _, err := citer.CiteBatch(context.Background(), reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cite-batch/independent-k=16/families=500", func(b *testing.B) { // B17 baseline
+			reqs := batchReqs(16, []string{
+				joinQ,
+				`Q(Name, Text) :- FamilyIntro(Fid, Text), Family(Fid, Name, Kind), Kind = "type-01"`,
+			})
+			for i := 0; i < b.N; i++ {
+				for _, req := range reqs {
+					if _, err := citer.Cite(context.Background(), req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"cite-batch/mixed-k=16/families=500", func(b *testing.B) { // B17
+			reqs := batchReqs(16, []string{
+				joinQ,
+				pointQ,
+				`Q(N) :- Family(F, N, Ty), Ty = "type-02"`,
+				`Q(N, Pn) :- Family(F, N, Ty), FC(F, P), Person(P, Pn, A), F = "100"`,
+			})
+			for i := 0; i < b.N; i++ {
+				if _, err := citer.CiteBatch(context.Background(), reqs); err != nil {
 					b.Fatal(err)
 				}
 			}

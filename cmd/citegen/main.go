@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"citare"
 	"citare/internal/datalog"
@@ -40,21 +42,40 @@ func main() {
 		aggI      = flag.String("agg", "union", "interpretation of Agg : union or join")
 		noPrune   = flag.Bool("no-prune", false, "disable order pruning and the §2.3 rewriting preference")
 		withDBRef = flag.Bool("cite-database", false, "always include the database-level citation (Agg neutral)")
+		timeout   = flag.Duration("timeout", 0, "abort evaluation after this long (0 = no deadline)")
+		maxTuples = flag.Int("max-tuples", 0, "fail if the query produces more answer tuples (0 = unbounded)")
+		maxRW     = flag.Int("max-rewritings", 0, "bound rewriting enumeration (0 = policy default)")
 	)
 	flag.Parse()
-	if err := run(*demo, *dataDir, *viewsPath, *sqlQuery, *dlQuery, *formatAlt,
+
+	// Ctrl-C cancels the evaluation mid-join instead of leaving it running.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	req := citare.Request{
+		SQL:           *sqlQuery,
+		Datalog:       *dlQuery,
+		Format:        *formatAlt,
+		MaxTuples:     *maxTuples,
+		MaxRewritings: *maxRW,
+	}
+	if err := run(ctx, *demo, *dataDir, *viewsPath, req,
 		*showRW, *showPoly, *showRows, *timesI, *plusI, *plusRI, *aggI, *noPrune, *withDBRef); err != nil {
 		fmt.Fprintln(os.Stderr, "citegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(demo bool, dataDir, viewsPath, sqlQuery, dlQuery, formatName string,
+func run(ctx context.Context, demo bool, dataDir, viewsPath string, req citare.Request,
 	showRW, showPoly, showRows bool, timesI, plusI, plusRI, aggI string, noPrune, withDBRef bool) error {
-	if sqlQuery == "" && dlQuery == "" {
+	if req.SQL == "" && req.Datalog == "" {
 		return fmt.Errorf("provide a query with -sql or -query")
 	}
-	if sqlQuery != "" && dlQuery != "" {
+	if req.SQL != "" && req.Datalog != "" {
 		return fmt.Errorf("-sql and -query are mutually exclusive")
 	}
 
@@ -104,12 +125,7 @@ func run(demo bool, dataDir, viewsPath, sqlQuery, dlQuery, formatName string,
 		return err
 	}
 
-	var res *citare.Citation
-	if sqlQuery != "" {
-		res, err = citer.CiteSQL(sqlQuery)
-	} else {
-		res, err = citer.CiteDatalog(dlQuery)
-	}
+	res, err := citer.Cite(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -129,10 +145,14 @@ func run(demo bool, dataDir, viewsPath, sqlQuery, dlQuery, formatName string,
 	if showPoly {
 		fmt.Println("-- per-tuple citation polynomials")
 		for i, row := range res.Rows() {
-			fmt.Printf("   %v: %s\n", row, res.TuplePolynomial(i))
+			poly, err := res.TuplePolynomialAt(i)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("   %v: %s\n", row, poly)
 		}
 	}
-	out, err := res.Render(formatName)
+	out, err := res.Rendered()
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"citare"
 	"citare/internal/datalog"
 )
 
@@ -15,22 +17,22 @@ func TestRunErrors(t *testing.T) {
 		call func() error
 	}{
 		{"no query", func() error {
-			return run(true, "", "", "", "", "json", false, false, false, "join", "union", "union", "union", false, false)
+			return run(context.Background(), true, "", "", citare.Request{SQL: "", Datalog: "", Format: "json"}, false, false, false, "join", "union", "union", "union", false, false)
 		}},
 		{"both queries", func() error {
-			return run(true, "", "", "SELECT 1", "Q(X) :- R(X)", "json", false, false, false, "join", "union", "union", "union", false, false)
+			return run(context.Background(), true, "", "", citare.Request{SQL: "SELECT 1", Datalog: "Q(X) :- R(X)", Format: "json"}, false, false, false, "join", "union", "union", "union", false, false)
 		}},
 		{"no source", func() error {
-			return run(false, "", "", "", "Q(X) :- R(X)", "json", false, false, false, "join", "union", "union", "union", false, false)
+			return run(context.Background(), false, "", "", citare.Request{SQL: "", Datalog: "Q(X) :- R(X)", Format: "json"}, false, false, false, "join", "union", "union", "union", false, false)
 		}},
 		{"bad interp", func() error {
-			return run(true, "", "", "", `Q(N) :- Family(F, N, Ty)`, "json", false, false, false, "bogus", "union", "union", "union", false, false)
+			return run(context.Background(), true, "", "", citare.Request{SQL: "", Datalog: `Q(N) :- Family(F, N, Ty)`, Format: "json"}, false, false, false, "bogus", "union", "union", "union", false, false)
 		}},
 		{"bad format", func() error {
-			return run(true, "", "", "", `Q(N) :- Family(F, N, Ty)`, "yaml", false, false, false, "join", "union", "union", "union", false, false)
+			return run(context.Background(), true, "", "", citare.Request{SQL: "", Datalog: `Q(N) :- Family(F, N, Ty)`, Format: "yaml"}, false, false, false, "join", "union", "union", "union", false, false)
 		}},
 		{"bad query", func() error {
-			return run(true, "", "", "", `Q(N) :-`, "json", false, false, false, "join", "union", "union", "union", false, false)
+			return run(context.Background(), true, "", "", citare.Request{SQL: "", Datalog: `Q(N) :-`, Format: "json"}, false, false, false, "join", "union", "union", "union", false, false)
 		}},
 	}
 	for _, tc := range cases {
@@ -48,8 +50,9 @@ func TestRunDemoHappyPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(true, "", "", "", `Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
-		"json-compact", true, true, true, "join", "union", "union", "union", false, true)
+	runErr := run(context.Background(), true, "", "",
+		citare.Request{Datalog: `Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`, Format: "json-compact"},
+		true, true, true, "join", "union", "union", "union", false, true)
 	w.Close()
 	os.Stdout = old
 	out := make([]byte, 1<<16)
@@ -121,8 +124,9 @@ fmt  V { "ID": F, "Name": N }.
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(false, dataDir, viewsPath, "", `Q(N) :- Fam(F, N), F = "1"`,
-		"json-compact", false, false, false, "join", "union", "union", "union", false, false)
+	runErr := run(context.Background(), false, dataDir, viewsPath,
+		citare.Request{Datalog: `Q(N) :- Fam(F, N), F = "1"`, Format: "json-compact"},
+		false, false, false, "join", "union", "union", "union", false, false)
 	w.Close()
 	os.Stdout = old
 	out := make([]byte, 1<<16)

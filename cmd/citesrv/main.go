@@ -1,13 +1,67 @@
 // Command citesrv serves citations over HTTP — the integration surface a
 // database owner would put in front of GtoPdb-style resources.
 //
-//	citesrv -addr :8437
+//	citesrv -addr :8437 -timeout 30s
 //
-//	POST /cite    {"sql": "...", "format": "json"}    → citation
-//	POST /cite    {"datalog": "...", "format": "xml"} → citation
-//	GET  /views                                        → the citation views
-//	GET  /stats                                        → cache + shard stats
-//	GET  /healthz                                      → ok
+//	POST /v1/cite          → one citation (v1 wire schema below)
+//	POST /v1/cite/batch    → a batch of citations, plan-shared
+//	POST /cite             → deprecated shim for /v1/cite (same schema)
+//	GET  /views            → the citation views
+//	GET  /stats            → cache + shard stats
+//	GET  /healthz          → ok
+//
+// # v1 wire schema
+//
+// A citation request is a JSON object with exactly one query field and
+// optional per-request knobs (zero values mean "server default"):
+//
+//	{
+//	  "sql":            "SELECT f.FName FROM Family f ...",  // xor "datalog"
+//	  "datalog":        "Q(N) :- Family(F, N, Ty), ...",
+//	  "format":         "json",   // json | json-compact | xml | bibtex | text
+//	  "parallel":       0,        // 1 = sequential, n > 1 caps the workers
+//	  "max_rewritings": 0,        // bound rewriting enumeration
+//	  "max_tuples":     0         // bound the answer size; beyond it → 422
+//	}
+//
+// A successful response:
+//
+//	{
+//	  "columns":     ["N"],
+//	  "rows":        [["adenosine receptors"], ...],
+//	  "rewritings":  ["Q(N) :- V1(F; F, N), ...", ...],
+//	  "polynomials": ["CV1(\"11\")·CV2(\"11\") + ...", ...],
+//	  "citation":    "{...}",   // rendered in the requested format
+//	  "format":      "json"
+//	}
+//
+// A batch request wraps many requests; the response carries one result per
+// request in order:
+//
+//	POST /v1/cite/batch   {"requests": [{...}, {...}]}
+//	                    → {"results":  [{...}, {...}]}
+//
+// Requests in one batch that canonicalize to the same query share one
+// logical-plan compilation and one evaluation, and view materialization is
+// shared across the whole batch — k copies of one query cost one citation.
+//
+// Failures use a typed error envelope mapped from the citare error
+// taxonomy; batch failures are all-or-nothing and name the first failing
+// request:
+//
+//	{"error": {"code": "parse", "message": "...", "index": 0}}
+//
+//	code       HTTP status
+//	parse      400  (bad query text, unknown format, bad request shape)
+//	schema     400  (query vs schema mismatch)
+//	timeout    408  (server -timeout or client deadline exceeded)
+//	canceled   499  (client went away mid-evaluation)
+//	limit      422  (max_tuples exceeded)
+//	internal   500
+//
+// Every request runs under a context: the -timeout flag wraps each request
+// in a deadline, and a client disconnect cancels evaluation at the next
+// partition or frame boundary — a dead client stops burning cores.
 //
 // All requests are served concurrently from one shared, cached citation
 // engine: the engine cites against an immutable database snapshot, and
@@ -18,12 +72,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"citare"
 	"citare/internal/gtopdb"
@@ -31,16 +88,39 @@ import (
 	"citare/internal/storage"
 )
 
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request" — the conventional status for work abandoned by the client.
+const statusClientClosedRequest = 499
+
 type server struct {
 	citer        *citare.CachedCiter
 	viewsProgram string
-	shards       int // engine shard count (1 = unsharded)
+	shards       int           // engine shard count (1 = unsharded)
+	timeout      time.Duration // per-request deadline (0 = none)
 }
 
+// citeRequest is the v1 wire form of one citation request (the legacy
+// /cite endpoint accepts the same shape and ignores the option fields it
+// predates — they default to zero).
 type citeRequest struct {
-	SQL     string `json:"sql,omitempty"`
-	Datalog string `json:"datalog,omitempty"`
-	Format  string `json:"format,omitempty"`
+	SQL           string `json:"sql,omitempty"`
+	Datalog       string `json:"datalog,omitempty"`
+	Format        string `json:"format,omitempty"`
+	Parallel      int    `json:"parallel,omitempty"`
+	MaxRewritings int    `json:"max_rewritings,omitempty"`
+	MaxTuples     int    `json:"max_tuples,omitempty"`
+}
+
+// request translates the wire form to the library's Request.
+func (r citeRequest) request() citare.Request {
+	return citare.Request{
+		SQL:           r.SQL,
+		Datalog:       r.Datalog,
+		Format:        r.Format,
+		Parallel:      r.Parallel,
+		MaxRewritings: r.MaxRewritings,
+		MaxTuples:     r.MaxTuples,
+	}
 }
 
 type citeResponse struct {
@@ -52,6 +132,94 @@ type citeResponse struct {
 	Format      string     `json:"format"`
 }
 
+type batchRequest struct {
+	Requests []citeRequest `json:"requests"`
+}
+
+type batchResponse struct {
+	Results []citeResponse `json:"results"`
+}
+
+// errorEnvelope is the v1 error wire form.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Index names the first failing request of a batch; nil for /v1/cite.
+	Index *int `json:"index,omitempty"`
+}
+
+// classifyStatus maps a tagged citare error to its HTTP status and wire
+// code: 400 parse/schema, 408 deadline, 499 client-gone, 422 limit, 500
+// anything untagged.
+func classifyStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, citare.ErrParse):
+		return http.StatusBadRequest, "parse"
+	case errors.Is(err, citare.ErrSchema):
+		return http.StatusBadRequest, "schema"
+	case errors.Is(err, citare.ErrLimit):
+		return http.StatusUnprocessableEntity, "limit"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, "timeout"
+	case errors.Is(err, citare.ErrCanceled):
+		return statusClientClosedRequest, "canceled"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError emits the typed error envelope. index, when >= 0, names the
+// failing request of a batch.
+func writeError(w http.ResponseWriter, err error, index int) {
+	status, code := classifyStatus(err)
+	body := errorBody{Code: code, Message: err.Error()}
+	if index >= 0 {
+		body.Index = &index
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(errorEnvelope{Error: body}); encErr != nil {
+		log.Printf("citesrv: encode error envelope: %v", encErr)
+	}
+}
+
+// requestCtx derives the evaluation context for one HTTP request: the
+// request's own context (canceled when the client goes away) bounded by
+// the server's -timeout deadline.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// respond shapes one citation into the wire response.
+func respond(res *citare.Citation) (citeResponse, error) {
+	rendered, err := res.Rendered()
+	if err != nil {
+		return citeResponse{}, err
+	}
+	resp := citeResponse{
+		Columns:    res.Columns(),
+		Rows:       res.Rows(),
+		Rewritings: res.Rewritings(),
+		Citation:   rendered,
+		Format:     res.Format(),
+	}
+	for i := 0; i < res.NumTuples(); i++ {
+		p, err := res.TuplePolynomialAt(i)
+		if err != nil {
+			return citeResponse{}, err
+		}
+		resp.Polynomials = append(resp.Polynomials, p)
+	}
+	return resp, nil
+}
+
+// handleCite serves POST /v1/cite (and, via the shim, the legacy /cite).
 func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -59,43 +227,67 @@ func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
 	}
 	var req citeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
 		return
 	}
-	if (req.SQL == "") == (req.Datalog == "") {
-		http.Error(w, `provide exactly one of "sql" or "datalog"`, http.StatusBadRequest)
-		return
-	}
-	if req.Format == "" {
-		req.Format = "json"
-	}
-	var (
-		res *citare.Citation
-		err error
-	)
-	if req.SQL != "" {
-		res, err = s.citer.CiteSQL(req.SQL)
-	} else {
-		res, err = s.citer.CiteDatalog(req.Datalog)
-	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.citer.Cite(ctx, req.request())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, err, -1)
 		return
 	}
-	rendered, err := res.Render(req.Format)
+	resp, err := respond(res)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, err, -1)
 		return
 	}
-	resp := citeResponse{
-		Columns:    res.Columns(),
-		Rows:       res.Rows(),
-		Rewritings: res.Rewritings(),
-		Citation:   rendered,
-		Format:     req.Format,
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("citesrv: encode: %v", err)
 	}
-	for i := 0; i < res.NumTuples(); i++ {
-		resp.Polynomials = append(resp.Polynomials, res.TuplePolynomial(i))
+}
+
+// handleCiteBatch serves POST /v1/cite/batch: the whole batch shares one
+// deadline and evaluates plan-shared through CiteBatch.
+func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var breq batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeError(w, fmt.Errorf("%w: empty batch", citare.ErrParse), -1)
+		return
+	}
+	reqs := make([]citare.Request, len(breq.Requests))
+	for i, cr := range breq.Requests {
+		reqs[i] = cr.request()
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results, err := s.citer.CiteBatch(ctx, reqs)
+	if err != nil {
+		var be *citare.BatchError
+		if errors.As(err, &be) {
+			writeError(w, be.Err, be.Index)
+			return
+		}
+		writeError(w, err, -1)
+		return
+	}
+	resp := batchResponse{Results: make([]citeResponse, len(results))}
+	for i, res := range results {
+		shaped, err := respond(res)
+		if err != nil {
+			writeError(w, err, i)
+			return
+		}
+		resp.Results[i] = shaped
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -138,6 +330,21 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// mux assembles the server's routes: the v1 API plus the legacy /cite
+// shim, which shares the v1 handler (and therefore the v1 statuses).
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cite", s.handleCite)
+	mux.HandleFunc("/v1/cite/batch", s.handleCiteBatch)
+	mux.HandleFunc("/cite", s.handleCite) // deprecated: use /v1/cite
+	mux.HandleFunc("/views", s.handleViews)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8437", "listen address")
@@ -145,6 +352,7 @@ func main() {
 		viewsPath = flag.String("views", "", "citation-views program file (defaults to the paper's views)")
 		parallel  = flag.Int("parallel", 0, "binding-enumeration workers per query (0 = adaptive from plan cardinalities, 1 = sequential)")
 		shards    = flag.Int("shards", 1, "hash-partition the database across N shards (<=1 unsharded)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (0 disables)")
 	)
 	flag.Parse()
 
@@ -187,14 +395,12 @@ func main() {
 	if *shards > 1 {
 		log.Printf("citesrv: database hash-partitioned across %d shards", *shards)
 	}
-	s := &server{citer: citare.NewCached(citer), viewsProgram: viewsProgram, shards: *shards}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/cite", s.handleCite)
-	mux.HandleFunc("/views", s.handleViews)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	log.Printf("citesrv: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	s := &server{
+		citer:        citare.NewCached(citer),
+		viewsProgram: viewsProgram,
+		shards:       *shards,
+		timeout:      *timeout,
+	}
+	log.Printf("citesrv: listening on %s (request timeout %v)", *addr, *timeout)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"citare"
 	"citare/internal/gtopdb"
@@ -67,16 +68,19 @@ func TestHandleCiteDatalogAndFormats(t *testing.T) {
 func TestHandleCiteErrors(t *testing.T) {
 	s := testServer(t)
 	cases := []struct {
-		method string
-		body   string
-		want   int
+		method   string
+		body     string
+		want     int
+		wantCode string // error envelope code ("" = no envelope check)
 	}{
-		{http.MethodGet, ``, http.StatusMethodNotAllowed},
-		{http.MethodPost, `not json`, http.StatusBadRequest},
-		{http.MethodPost, `{}`, http.StatusBadRequest},
-		{http.MethodPost, `{"sql": "x", "datalog": "y"}`, http.StatusBadRequest},
-		{http.MethodPost, `{"sql": "SELECT nope FROM Nada"}`, http.StatusUnprocessableEntity},
-		{http.MethodPost, `{"sql": "SELECT FName FROM Family", "format": "yaml"}`, http.StatusBadRequest},
+		{http.MethodGet, ``, http.StatusMethodNotAllowed, ""},
+		{http.MethodPost, `not json`, http.StatusBadRequest, "parse"},
+		{http.MethodPost, `{}`, http.StatusBadRequest, "parse"},
+		{http.MethodPost, `{"sql": "x", "datalog": "y"}`, http.StatusBadRequest, "parse"},
+		{http.MethodPost, `{"sql": "SELECT nope FROM Nada"}`, http.StatusBadRequest, "parse"},
+		{http.MethodPost, `{"sql": "SELECT FName FROM Family", "format": "yaml"}`, http.StatusBadRequest, "parse"},
+		{http.MethodPost, `{"datalog": "Q(N) :- Nope(N)"}`, http.StatusBadRequest, "schema"},
+		{http.MethodPost, `{"sql": "SELECT FName FROM Family", "max_tuples": 1}`, http.StatusUnprocessableEntity, "limit"},
 	}
 	for _, tc := range cases {
 		req := httptest.NewRequest(tc.method, "/cite", strings.NewReader(tc.body))
@@ -85,6 +89,113 @@ func TestHandleCiteErrors(t *testing.T) {
 		if w.Code != tc.want {
 			t.Fatalf("%s %q: status %d, want %d (%s)", tc.method, tc.body, w.Code, tc.want, w.Body.String())
 		}
+		if tc.wantCode == "" {
+			continue
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%q: envelope unmarshal: %v (%s)", tc.body, err, w.Body.String())
+		}
+		if env.Error.Code != tc.wantCode {
+			t.Fatalf("%q: error code %q, want %q", tc.body, env.Error.Code, tc.wantCode)
+		}
+	}
+}
+
+// TestHandleCiteTimeout drives a request through a server whose -timeout
+// deadline has effectively already passed and expects a 408 envelope.
+func TestHandleCiteTimeout(t *testing.T) {
+	s := testServer(t)
+	s.timeout = time.Nanosecond
+	body := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handleCite(w, req)
+	if w.Code != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408 (%s)", w.Code, w.Body.String())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "timeout" {
+		t.Fatalf("error code %q, want timeout", env.Error.Code)
+	}
+}
+
+// TestHandleCiteBatch exercises /v1/cite/batch: per-request results in
+// order, equivalent requests byte-identical to the single endpoint, and
+// all-or-nothing failures naming the first bad request.
+func TestHandleCiteBatch(t *testing.T) {
+	s := testServer(t)
+	sql := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+
+	single := httptest.NewRecorder()
+	s.handleCite(single, httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(sql)))
+	if single.Code != http.StatusOK {
+		t.Fatalf("single: status %d: %s", single.Code, single.Body.String())
+	}
+	var want citeResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := `{"requests": [` + sql + `, {"datalog": "Q(N) :- Family(F, N, Ty), F = \"11\""}, ` + sql + `]}`
+	w := httptest.NewRecorder()
+	s.handleCiteBatch(w, httptest.NewRequest(http.MethodPost, "/v1/cite/batch", strings.NewReader(batch)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results: %d, want 3", len(resp.Results))
+	}
+	for _, i := range []int{0, 2} {
+		got, _ := json.Marshal(resp.Results[i])
+		wantRaw, _ := json.Marshal(want)
+		if string(got) != string(wantRaw) {
+			t.Fatalf("batch result %d diverged from single response:\n got %s\nwant %s", i, got, wantRaw)
+		}
+	}
+	if len(resp.Results[1].Rows) != 1 {
+		t.Fatalf("mixed batch member rows: %v", resp.Results[1].Rows)
+	}
+
+	// All-or-nothing: the second request is unparsable, the envelope says so.
+	bad := `{"requests": [` + sql + `, {"sql": "SELECT nope FROM Nada"}]}`
+	w = httptest.NewRecorder()
+	s.handleCiteBatch(w, httptest.NewRequest(http.MethodPost, "/v1/cite/batch", strings.NewReader(bad)))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad batch: status %d (%s)", w.Code, w.Body.String())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "parse" || env.Error.Index == nil || *env.Error.Index != 1 {
+		t.Fatalf("bad batch envelope: %+v", env.Error)
+	}
+}
+
+// TestV1AndLegacyCiteAgree routes one request through /v1/cite and the
+// legacy /cite shim via the real mux and requires identical responses.
+func TestV1AndLegacyCiteAgree(t *testing.T) {
+	s := testServer(t)
+	mux := s.mux()
+	body := `{"datalog": "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\""}`
+	get := func(path string) string {
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, w.Code, w.Body.String())
+		}
+		return w.Body.String()
+	}
+	if v1, legacy := get("/v1/cite"), get("/cite"); v1 != legacy {
+		t.Fatalf("shim diverged:\n v1 %s\n legacy %s", v1, legacy)
 	}
 }
 

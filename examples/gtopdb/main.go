@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, q := range queries {
-			res, err := citer.CiteDatalog(q.text)
+			res, err := citer.Cite(context.Background(), citare.Request{Datalog: q.text})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -59,7 +60,11 @@ func main() {
 			fmt.Printf("\n  %s — %d answers, %d rewritings, citation %d bytes\n",
 				q.name, res.NumTuples(), len(res.Rewritings()), len(cit))
 			if res.NumTuples() > 0 {
-				fmt.Printf("    first tuple cite: %s\n", res.TuplePolynomial(0))
+				poly, perr := res.TuplePolynomialAt(0)
+				if perr != nil {
+					log.Fatal(perr)
+				}
+				fmt.Printf("    first tuple cite: %s\n", poly)
 			}
 			if len(cit) <= 300 {
 				fmt.Printf("    citation: %s\n", cit)
@@ -74,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := citer.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "type-01"`)
+	res, err := citer.Cite(context.Background(), citare.Request{Datalog: `Q(N) :- Family(F, N, Ty), Ty = "type-01"`})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,12 +66,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := citer.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`)
+	fmt.Println("\ncitation polynomials (citation-view tokens, same semiring shape):")
+	err = citer.CiteEach(context.Background(),
+		citare.Request{Datalog: `Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`},
+		func(t citare.Tuple) error {
+			fmt.Printf("  %v: %s\n", t.Values, t.Polynomial)
+			return nil
+		})
 	if err != nil {
 		log.Fatal(err)
-	}
-	fmt.Println("\ncitation polynomials (citation-view tokens, same semiring shape):")
-	for i, row := range res.Rows() {
-		fmt.Printf("  %v: %s\n", row, res.TuplePolynomial(i))
 	}
 }

@@ -1,15 +1,22 @@
-// Quickstart: cite a query over the paper's GtoPdb micro-instance.
+// Quickstart: cite a query over the paper's GtoPdb micro-instance with the
+// context-first request API.
 //
 // This is Example 2.2 of the paper end to end: the query asks for the names
 // of gpcr families that have a detailed introduction page; the library
-// rewrites it over the citation views V1–V5 and assembles the citation.
+// rewrites it over the citation views V1–V5 and assembles the citation. The
+// request runs under a context — cancel it (or let its deadline expire) and
+// the evaluation stops mid-join with citare.ErrCanceled — and carries
+// per-request options such as the render format and a result-size cap.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"citare"
 	"citare/internal/gtopdb"
@@ -28,9 +35,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. A general query — the paper's Example 2.2.
-	res, err := citer.CiteDatalog(`Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`)
-	if err != nil {
+	// 3. A general query — the paper's Example 2.2 — as a Request under a
+	//    deadline. MaxTuples guards against accidentally citing a result
+	//    too large to page through (it fails with citare.ErrLimit).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := citer.Cite(ctx, citare.Request{
+		Datalog:   `Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
+		Format:    "json",
+		MaxTuples: 1000,
+	})
+	switch {
+	case errors.Is(err, citare.ErrParse):
+		log.Fatalf("bad query: %v", err)
+	case errors.Is(err, citare.ErrCanceled):
+		log.Fatalf("deadline hit: %v", err)
+	case err != nil:
 		log.Fatal(err)
 	}
 
@@ -44,12 +64,30 @@ func main() {
 	}
 	fmt.Println("\nper-tuple citation polynomials:")
 	for i, row := range res.Rows() {
-		fmt.Printf("  cite(%v) = %s\n", row, res.TuplePolynomial(i))
+		poly, err := res.TuplePolynomialAt(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  cite(%v) = %s\n", row, poly)
 	}
 	fmt.Println("\naggregated citation (JSON):")
-	out, err := res.Render("json")
+	out, err := res.Rendered()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
+
+	// 4. The same query streamed: CiteEach hands each tuple's citation to
+	//    the callback in deterministic order without materializing the full
+	//    per-tuple list — the way to page very large results.
+	fmt.Println("\nstreamed per-tuple citations:")
+	err = citer.CiteEach(ctx, citare.Request{
+		Datalog: `Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)`,
+	}, func(t citare.Tuple) error {
+		fmt.Printf("  #%d %v -> %s\n", t.Index, t.Values, t.Polynomial)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 }

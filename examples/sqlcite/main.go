@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -35,11 +37,23 @@ func main() {
 		  WHERE f.FID = c.FID AND c.PID = p.PID AND f.FID = '11'`,
 	}
 
+	// One plan-shared batch: the three queries evaluate concurrently under
+	// one context, and equivalent requests would share a single evaluation.
+	ctx := context.Background()
+	reqs := make([]citare.Request, len(queries))
 	for i, sql := range queries {
-		res, err := citer.CiteSQL(sql)
-		if err != nil {
-			log.Fatal(err)
+		reqs[i] = citare.Request{SQL: sql}
+	}
+	results, err := citer.CiteBatch(ctx, reqs)
+	if err != nil {
+		var be *citare.BatchError
+		if errors.As(err, &be) {
+			log.Fatalf("query %d failed: %v", be.Index+1, be.Err)
 		}
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		sql := queries[i]
 		fmt.Printf("=== query %d ===\n%s\n", i+1, sql)
 		fmt.Printf("answers (%v): %v\n", res.Columns(), res.Rows())
 		fmt.Println("rewritings:")
@@ -49,7 +63,8 @@ func main() {
 		fmt.Printf("citation: %s\n\n", res.CitationJSON())
 	}
 
-	// Parse errors surface with positions, like any SQL front end.
-	_, err = citer.CiteSQL(`SELECT FID FROM Family, FamilyIntro`)
-	fmt.Printf("ambiguous column error (expected): %v\n", err)
+	// Parse errors surface typed (errors.Is(err, citare.ErrParse)) and with
+	// positions, like any SQL front end.
+	_, err = citer.Cite(ctx, citare.Request{SQL: `SELECT FID FROM Family, FamilyIntro`})
+	fmt.Printf("ambiguous column error (expected, tagged ErrParse=%v): %v\n", errors.Is(err, citare.ErrParse), err)
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,7 +64,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := citer.CiteDatalog(query)
+		res, err := citer.Cite(context.Background(), citare.Request{Datalog: query})
 		if err != nil {
 			log.Fatal(err)
 		}

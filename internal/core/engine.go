@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -67,6 +67,12 @@ type Engine struct {
 	// queryMu guards queries, the engine-lifetime logical-plan cache.
 	queryMu sync.RWMutex
 	queries map[string]*compiledQuery
+
+	// logicalHits / logicalMisses count logical-plan cache lookups: a miss
+	// is one full normalize + minimize + rewriting-enumeration compilation.
+	// CiteBatch's plan sharing is asserted against these counters.
+	logicalHits   atomic.Uint64
+	logicalMisses atomic.Uint64
 
 	epochCtr atomic.Uint64 // allocates unique epochs across concurrent Resets
 
@@ -180,6 +186,38 @@ func (e *Engine) evalOpts() eval.Options {
 	return eval.Options{Parallel: p}
 }
 
+// requestOpts resolves one request's evaluation options: a non-zero
+// per-request Parallel overrides the engine's configuration, otherwise the
+// engine default applies (adaptive when unset).
+func (e *Engine) requestOpts(o CiteOptions) eval.Options {
+	opts := e.evalOpts()
+	if o.Parallel != 0 {
+		opts.Parallel = o.Parallel
+	}
+	return opts
+}
+
+// CiteOptions are the per-request knobs of one citation call. The zero
+// value means "use the engine's configuration" for every field.
+type CiteOptions struct {
+	// Parallel overrides the engine's binding-enumeration worker setting
+	// for this request: 1 forces sequential evaluation, n > 1 caps the
+	// pool, eval.Auto adapts to plan cardinalities. 0 keeps the engine
+	// default.
+	Parallel int
+	// MaxRewritings tightens the policy's rewriting-enumeration bound for
+	// this request; 0 keeps the policy's bound, and a request can never
+	// raise a non-zero policy bound (the engine clamps to the minimum), so
+	// untrusted per-request values cannot bypass the operator's cost guard.
+	// Requests with different effective bounds compile (and cache) separate
+	// logical plans.
+	MaxRewritings int
+	// MaxTuples bounds the number of output tuples the query may produce;
+	// past the bound the evaluation aborts with eval.ErrTupleLimit instead
+	// of burning through the rest of the enumeration. 0 means unbounded.
+	MaxTuples int
+}
+
 // curState returns the engine's current epoch state.
 func (e *Engine) curState() *engineState {
 	e.stateMu.RLock()
@@ -290,14 +328,16 @@ func (e *Engine) baseSchema() *storage.Schema {
 // database once. The state lock serializes first-time materialization;
 // later readers see the filled relation without re-entering here (the flag
 // flips only after every tuple landed, and the lock's release/acquire pair
-// publishes the inserts).
-func (e *Engine) materializeView(st *engineState, v *CitationView) error {
+// publishes the inserts). Cancellation is safe: the view evaluates fully
+// before the first insert, so a canceled request leaves the relation empty
+// and unflagged — the next request simply materializes it again.
+func (e *Engine) materializeView(ctx context.Context, st *engineState, v *CitationView) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.materialized[v.Name()] {
 		return nil
 	}
-	res, err := st.snap.eval(v.Def, e.evalOpts())
+	res, err := st.snap.eval(ctx, v.Def, e.evalOpts())
 	if err != nil {
 		return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
 	}
@@ -357,10 +397,44 @@ type Result struct {
 // rewriting with + (Definition 3.2), across rewritings with +R (Definition
 // 3.3, order-pruned per §3.4), and across tuples with Agg (Definition 3.4).
 func (e *Engine) Cite(q *cq.Query) (*Result, error) {
+	return e.CiteCtx(context.Background(), q, CiteOptions{})
+}
+
+// CiteCtx is Cite under a context with per-request options. Cancellation is
+// honored at every stage — output evaluation, view materialization,
+// rewriting evaluation and per-tuple citation assembly — so a canceled
+// request returns the context's error promptly instead of finishing the
+// citation nobody is waiting for.
+func (e *Engine) CiteCtx(ctx context.Context, q *cq.Query, o CiteOptions) (*Result, error) {
+	return e.cite(ctx, q, o, nil)
+}
+
+// CiteEach is CiteCtx streaming: each output tuple's citation is handed to
+// fn (in the same deterministic tuple order Cite produces) instead of being
+// accumulated on the Result, and no aggregated result-set citation is
+// rendered. The returned Result carries the query, columns and rewritings
+// only — Tuples stays nil and Citation zero. The *TupleCitation passed to
+// fn is only valid during the call; fn returning an error aborts the
+// stream. Use it to page through very large result sets without holding
+// every rendered citation in memory at once.
+func (e *Engine) CiteEach(ctx context.Context, q *cq.Query, o CiteOptions, fn func(*TupleCitation) error) (*Result, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("core: CiteEach requires a callback")
+	}
+	return e.cite(ctx, q, o, fn)
+}
+
+// cite is the shared citation pipeline behind CiteCtx and CiteEach: when
+// each is nil, tuples accumulate on the Result and are aggregated; when
+// non-nil, they stream through it.
+func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions, each func(*TupleCitation) error) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	cpq, err := e.logicalPlan(q)
+	cpq, err := e.logicalPlan(q, o)
 	if err != nil {
 		return nil, err
 	}
@@ -379,9 +453,14 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 	}
 
 	// Evaluate the query itself for the output tuples (independent of any
-	// rewriting, so even an un-rewritable query reports its answers).
+	// rewriting, so even an un-rewritable query reports its answers). The
+	// per-request tuple bound applies here: the citation of a result is
+	// per-tuple, so a result too large to return is aborted before any
+	// rewriting work happens.
 	st := e.curState()
-	out, err := st.snap.eval(min, e.evalOpts())
+	outOpts := e.requestOpts(o)
+	outOpts.MaxTuples = o.MaxTuples
+	out, err := st.snap.eval(ctx, min, outOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -394,7 +473,7 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 	}
 
 	for _, r := range rewritings {
-		polys, err := e.rewritingPolys(st, r)
+		polys, err := e.rewritingPolys(ctx, st, o, r)
 		if err != nil {
 			return nil, err
 		}
@@ -409,33 +488,60 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 		}
 	}
 
+	// Combine and render in deterministic tuple order: Plan.Eval's contract
+	// sorts out.Tuples by key, so order — built in that sequence — is
+	// already sorted and the citation order matches the tuple order.
+	// Rendering is a per-tuple cancellation point.
 	for _, k := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tc := perTuple[k]
 		e.combineTuple(st, tc)
+		if each != nil {
+			// Release the entry before delivery so a streamed enumeration
+			// holds one combined+rendered citation at a time, not all of
+			// them — the point of CiteEach.
+			delete(perTuple, k)
+			if err := each(tc); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		res.Tuples = append(res.Tuples, *tc)
 	}
-	sort.Slice(res.Tuples, func(i, j int) bool {
-		return res.Tuples[i].Tuple.Key() < res.Tuples[j].Tuple.Key()
-	})
-
-	res.Citation = e.aggregate(res.Tuples)
+	if each == nil {
+		res.Citation = e.aggregate(res.Tuples)
+	}
 	return res, nil
 }
 
 // logicalPlan returns the query's engine-lifetime logical plan —
 // normalization, minimization and rewriting enumeration memoized on the
-// query's collision-free syntactic key. Concurrent misses may compile
-// twice; the first stored plan wins so every caller shares one instance.
-// The caller must have validated q.
-func (e *Engine) logicalPlan(q *cq.Query) (*compiledQuery, error) {
+// query's collision-free syntactic key (suffixed with the effective
+// rewriting bound when a request overrides it, so different bounds never
+// share a plan). Concurrent misses may compile twice; the first stored
+// plan wins so every caller shares one instance. The caller must have
+// validated q.
+func (e *Engine) logicalPlan(q *cq.Query, o CiteOptions) (*compiledQuery, error) {
+	// A request may only tighten the policy's bound, never raise it.
+	maxRW := e.policy.MaxRewritings
+	if o.MaxRewritings > 0 && (maxRW == 0 || o.MaxRewritings < maxRW) {
+		maxRW = o.MaxRewritings
+	}
 	key := q.Key()
+	if maxRW != e.policy.MaxRewritings {
+		key += "\x00mr=" + strconv.Itoa(maxRW)
+	}
 	e.queryMu.RLock()
 	cpq := e.queries[key]
 	e.queryMu.RUnlock()
 	if cpq != nil {
+		e.logicalHits.Add(1)
 		return cpq, nil
 	}
-	cpq, err := e.compileQuery(q)
+	e.logicalMisses.Add(1)
+	cpq, err := e.compileQuery(q, maxRW)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +555,14 @@ func (e *Engine) logicalPlan(q *cq.Query) (*compiledQuery, error) {
 	return cpq, nil
 }
 
-func (e *Engine) compileQuery(q *cq.Query) (*compiledQuery, error) {
+// LogicalPlanStats reports the logical-plan cache counters: hits served
+// from the engine-lifetime cache, and misses that ran a full normalize +
+// minimize + rewriting-enumeration compilation.
+func (e *Engine) LogicalPlanStats() (hits, misses uint64) {
+	return e.logicalHits.Load(), e.logicalMisses.Load()
+}
+
+func (e *Engine) compileQuery(q *cq.Query, maxRewritings int) (*compiledQuery, error) {
 	norm, _, sat := q.NormalizeConstants()
 	if !sat {
 		return &compiledQuery{norm: norm}, nil
@@ -461,7 +574,7 @@ func (e *Engine) compileQuery(q *cq.Query) (*compiledQuery, error) {
 	}
 	rewritings, err := rewrite.Enumerate(min, defs, rewrite.Options{
 		AllowPartial:  e.policy.AllowPartial,
-		MaxRewritings: e.policy.MaxRewritings,
+		MaxRewritings: maxRewritings,
 	})
 	if err != nil {
 		return nil, err
@@ -512,7 +625,7 @@ func (e *Engine) citeUnsat(q *cq.Query) (*Result, error) {
 // Definition 3.2; each binding contributes the ·-product of its view tokens
 // (Definition 3.1) and, under Example 3.7's convention, C_R tokens for base
 // atoms.
-func (e *Engine) rewritingPolys(st *engineState, r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
+func (e *Engine) rewritingPolys(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
 	// Translate the rewriting into a CQ over the execution database.
 	q := &cq.Query{Name: "RW", Head: append([]cq.Term(nil), r.Head...)}
 	type viewAtomInfo struct {
@@ -526,7 +639,7 @@ func (e *Engine) rewritingPolys(st *engineState, r *rewrite.Rewriting) (map[stri
 		if v == nil {
 			return nil, fmt.Errorf("core: rewriting uses unknown view %s", va.View.Name)
 		}
-		if err := e.materializeView(st, v); err != nil {
+		if err := e.materializeView(ctx, st, v); err != nil {
 			return nil, err
 		}
 		pos, err := v.Def.ParamPositions()
@@ -543,7 +656,7 @@ func (e *Engine) rewritingPolys(st *engineState, r *rewrite.Rewriting) (map[stri
 	q.Comps = append(q.Comps, r.Comps...)
 
 	polys := make(map[string]provenance.Poly)
-	err := st.exec.evalBindings(q, e.evalOpts(), func(b eval.Binding, matches []eval.Match) error {
+	err := st.exec.evalBindings(ctx, q, e.requestOpts(o), func(b eval.Binding, matches []eval.Match) error {
 		// Head tuple.
 		out := make(storage.Tuple, len(q.Head))
 		for i, t := range q.Head {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"citare/internal/cq"
@@ -80,18 +81,18 @@ func (t evalTarget) plan(q *cq.Query) (*eval.Plan, error) {
 	return pl, nil
 }
 
-func (t evalTarget) eval(q *cq.Query, opts eval.Options) (*eval.Result, error) {
+func (t evalTarget) eval(ctx context.Context, q *cq.Query, opts eval.Options) (*eval.Result, error) {
 	pl, err := t.plan(q)
 	if err != nil {
 		return nil, err
 	}
-	return pl.Eval(opts)
+	return pl.EvalCtx(ctx, opts)
 }
 
-func (t evalTarget) evalBindings(q *cq.Query, opts eval.Options, fn func(eval.Binding, []eval.Match) error) error {
+func (t evalTarget) evalBindings(ctx context.Context, q *cq.Query, opts eval.Options, fn func(eval.Binding, []eval.Match) error) error {
 	pl, err := t.plan(q)
 	if err != nil {
 		return err
 	}
-	return pl.EvalBindings(opts, fn)
+	return pl.EvalBindingsCtx(ctx, opts, fn)
 }

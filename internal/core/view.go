@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -155,7 +156,10 @@ func citationRows(t evalTarget, inst *cq.Query, paramNames, paramVals []string) 
 		row map[string]string
 	}
 	var rows []sortedRow
-	err := t.evalBindings(inst, eval.Options{}, func(b eval.Binding, _ []eval.Match) error {
+	// Token rendering is small (one citation query instance) and its result
+	// is cached across requests, so it always runs to completion: a canceled
+	// request must not poison the shared rendered-token cache.
+	err := t.evalBindings(context.Background(), inst, eval.Options{}, func(b eval.Binding, _ []eval.Match) error {
 		row := make(map[string]string, len(b)+len(paramNames))
 		for k, v := range b {
 			row[k] = v

@@ -1,0 +1,156 @@
+package eval_test
+
+// Mid-enumeration cancellation across all three execution strategies
+// (sequential descent, worker pools, scatter-gather). External test package:
+// the scatter strategy needs internal/shard, which imports eval.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"citare/internal/eval"
+	"citare/internal/shard"
+	"citare/internal/workload"
+)
+
+// cancelStrategies enumerates the three execution strategies over the
+// chain-join workload.
+func cancelStrategies(t *testing.T) []struct {
+	name string
+	view eval.DBView
+	opts eval.Options
+} {
+	t.Helper()
+	db := workload.ChainDB(3, 600, 64, 7)
+	sharded, err := shard.FromDB(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		view eval.DBView
+		opts eval.Options
+	}{
+		{"sequential", eval.DBViewOf(db), eval.Options{Parallel: 1}},
+		{"pool-4", eval.DBViewOf(db), eval.Options{Parallel: 4}},
+		{"scatter-4", sharded, eval.Options{Parallel: 4}},
+	}
+}
+
+// TestCancelMidEnumeration cancels the context from inside the binding
+// callback after the first delivery and requires (1) the enumeration to
+// abort with context.Canceled instead of running dry, (2) only a bounded
+// number of further deliveries (each worker re-checks the context at least
+// every 256 candidate tuples), and (3) no leaked worker goroutines.
+func TestCancelMidEnumeration(t *testing.T) {
+	q := workload.ChainQuery(3)
+	for _, st := range cancelStrategies(t) {
+		t.Run(st.name, func(t *testing.T) {
+			plan, err := eval.Compile(st.view, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference: the full binding count, to prove the cancel run
+			// stopped early rather than finishing.
+			total := 0
+			if err := plan.EvalBindings(st.opts, func(eval.Binding, []eval.Match) error {
+				total++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if total < 4096 {
+				t.Fatalf("workload too small to observe mid-enumeration cancel: %d bindings", total)
+			}
+
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			delivered := 0
+			err = plan.EvalBindingsCtx(ctx, st.opts, func(eval.Binding, []eval.Match) error {
+				delivered++
+				if delivered == 1 {
+					cancel()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled (delivered %d of %d)", err, delivered, total)
+			}
+			// Each of the ≤4 workers may feed up to 256 more candidates (one
+			// check interval) before noticing; anything near the full count
+			// means cancellation did not propagate.
+			if delivered > total/2 {
+				t.Fatalf("delivered %d of %d bindings after cancel", delivered, total)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestCancelBeforeEnumeration: an already-canceled context returns without
+// delivering anything, in every strategy.
+func TestCancelBeforeEnumeration(t *testing.T) {
+	q := workload.ChainQuery(3)
+	for _, st := range cancelStrategies(t) {
+		t.Run(st.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			plan, err := eval.Compile(st.view, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered := 0
+			err = plan.EvalBindingsCtx(ctx, st.opts, func(eval.Binding, []eval.Match) error {
+				delivered++
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) || delivered != 0 {
+				t.Fatalf("err = %v, delivered = %d; want immediate context.Canceled", err, delivered)
+			}
+			if _, err := plan.EvalCtx(ctx, st.opts); !errors.Is(err, context.Canceled) {
+				t.Fatalf("EvalCtx err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestDeadlineExceededSurfaces: a deadline that expires mid-enumeration
+// surfaces context.DeadlineExceeded (not a bare Canceled), so callers can
+// map timeouts and client-gone separately.
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	db := workload.ChainDB(3, 600, 64, 7)
+	q := workload.ChainQuery(3)
+	plan, err := eval.Compile(eval.DBViewOf(db), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // deadline definitely passed
+	err = plan.EvalBindingsCtx(ctx, eval.Options{Parallel: 1}, func(eval.Binding, []eval.Match) error {
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// waitForGoroutines waits for the goroutine count to settle back to (or
+// below) the pre-test level, failing after a generous grace period.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -25,9 +25,20 @@
 // first one is too small to split), and scatter-gather across the shards of
 // an eval.Partitioned view — with identical binding multisets and
 // byte-identical sorted results.
+//
+// # Cancellation
+//
+// Plan.EvalCtx and Plan.EvalBindingsCtx run the enumeration under a
+// context: every strategy re-checks ctx.Done() at partition boundaries
+// (worker chunks, expansion prefixes, shards) and at least every
+// ctxCheckInterval candidate tuples within a partition, so a canceled
+// enumeration returns the context's error promptly instead of finishing a
+// join nobody is waiting for. Under context.Background() the checks reduce
+// to a nil-channel branch and cost nothing.
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -35,6 +46,16 @@ import (
 	"citare/internal/cq"
 	"citare/internal/storage"
 )
+
+// ErrSchema tags compile-time schema mismatches — unknown relations and
+// arity mismatches between a query atom and its relation. Compile wraps
+// these so callers can classify them with errors.Is without string matching.
+var ErrSchema = errors.New("eval: schema mismatch")
+
+// ErrTupleLimit is returned by Eval when Options.MaxTuples is set and the
+// enumeration produces more distinct output tuples than allowed. The
+// enumeration aborts promptly across every execution strategy.
+var ErrTupleLimit = errors.New("eval: tuple limit exceeded")
 
 // Binding is a valuation of query variables.
 type Binding map[string]string
@@ -154,6 +175,12 @@ type Options struct {
 	// is identical to the sequential evaluation's. EvalOpts output is
 	// deterministic regardless.
 	Parallel int
+
+	// MaxTuples, when > 0, bounds the number of distinct output tuples a
+	// set-semantics Eval may produce: the enumeration aborts with
+	// ErrTupleLimit as soon as the bound is exceeded, across every
+	// execution strategy. It has no effect on binding enumeration.
+	MaxTuples int
 }
 
 // Eval evaluates q over db with set semantics. Output tuples are

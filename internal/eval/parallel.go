@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -74,8 +75,9 @@ type prefix struct {
 // at a time into prefixes until the fan-out suffices, and the prefixes are
 // partitioned. Calls to fn are serialized through a sink: fn sees the same
 // single-threaded contract as the sequential evaluator, only the arrival
-// order changes.
-func (p *Plan) parallelFrames(workers int, fn frameFn) error {
+// order changes. Each worker's exec re-checks ctx between candidates, so a
+// canceled context drains the whole pool promptly.
+func (p *Plan) parallelFrames(ctx context.Context, workers int, fn frameFn) error {
 	st0 := &p.steps[0]
 	var cands []storage.Tuple
 	collect := func(t storage.Tuple) bool {
@@ -96,13 +98,13 @@ func (p *Plan) parallelFrames(workers int, fn frameFn) error {
 		return nil
 	}
 	if len(cands) >= workers*prefixFanout || len(p.steps) == 1 {
-		return p.runPartitioned(workers, cands, fn)
+		return p.runPartitioned(ctx, workers, cands, fn)
 	}
-	return p.runExpanded(workers, cands, fn)
+	return p.runExpanded(ctx, workers, cands, fn)
 }
 
 // runPartitioned chunks the first step's candidate tuples across workers.
-func (p *Plan) runPartitioned(workers int, cands []storage.Tuple, fn frameFn) error {
+func (p *Plan) runPartitioned(ctx context.Context, workers int, cands []storage.Tuple, fn frameFn) error {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -118,7 +120,7 @@ func (p *Plan) runPartitioned(workers int, cands []storage.Tuple, fn frameFn) er
 		wg.Add(1)
 		go func(part []storage.Tuple) {
 			defer wg.Done()
-			e := p.newExec(sink.deliver)
+			e := p.newExec(ctx, sink.deliver)
 			for _, t := range part {
 				if sink.stopped() {
 					return
@@ -144,9 +146,9 @@ func (p *Plan) runPartitioned(workers int, cands []storage.Tuple, fn frameFn) er
 // prefixes are chunked across workers, each finishing its branches
 // sequentially. Expansion performs exactly the work the sequential
 // evaluator would, so the delivered multiset is unchanged.
-func (p *Plan) runExpanded(workers int, cands []storage.Tuple, fn frameFn) error {
+func (p *Plan) runExpanded(ctx context.Context, workers int, cands []storage.Tuple, fn frameFn) error {
 	target := workers * prefixFanout
-	scratch := p.newExec(nil)
+	scratch := p.newExec(ctx, nil)
 	snapshot := func(depth int) prefix {
 		return prefix{
 			frame:   append([]string(nil), scratch.frame...),
@@ -183,6 +185,11 @@ func (p *Plan) runExpanded(workers int, cands []storage.Tuple, fn frameFn) error
 		st := &p.steps[depth]
 		var next []prefix
 		for _, pf := range cur {
+			// The expansion itself is a partition boundary: re-check ctx per
+			// prefix so cancellation lands before the next relation scan.
+			if err := scratch.checkCtx(); err != nil {
+				return err
+			}
 			copy(scratch.frame, pf.frame)
 			copy(scratch.matches, pf.matches)
 			iter := func(t storage.Tuple) bool {
@@ -210,6 +217,9 @@ func (p *Plan) runExpanded(workers int, cands []storage.Tuple, fn frameFn) error
 	if depth == len(p.steps) {
 		// The expansion enumerated everything; deliver sequentially.
 		for _, pf := range cur {
+			if err := scratch.checkCtx(); err != nil {
+				return err
+			}
 			if err := fn(pf.frame, pf.matches); err != nil {
 				return err
 			}
@@ -232,7 +242,7 @@ func (p *Plan) runExpanded(workers int, cands []storage.Tuple, fn frameFn) error
 		wg.Add(1)
 		go func(part []prefix) {
 			defer wg.Done()
-			e := p.newExec(sink.deliver)
+			e := p.newExec(ctx, sink.deliver)
 			for _, pf := range part {
 				if sink.stopped() {
 					return

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -22,6 +23,11 @@ const (
 	// parallel driver aims for; when the first atom yields fewer candidates
 	// than workers×prefixFanout, deeper atoms are partitioned instead.
 	prefixFanout = 4
+	// ctxCheckInterval is how many candidate tuples an execution feeds
+	// between context checks: frequent enough that a canceled enumeration
+	// stops within microseconds, rare enough that the check is free on the
+	// hot path (one integer decrement per candidate).
+	ctxCheckInterval = 256
 )
 
 // valSrc names where a runtime value comes from: a frame slot (slot >= 0) or
@@ -123,11 +129,11 @@ func Compile(dbv DBView, q *cq.Query) (*Plan, error) {
 	for i, a := range q.Atoms {
 		rel := dbv.Relation(a.Pred)
 		if rel == nil {
-			return nil, fmt.Errorf("eval: unknown relation %s", a.Pred)
+			return nil, fmt.Errorf("%w: unknown relation %s", ErrSchema, a.Pred)
 		}
 		if rel.Schema().Arity() != len(a.Args) {
-			return nil, fmt.Errorf("eval: atom %s has %d arguments, relation has arity %d",
-				a.Pred, len(a.Args), rel.Schema().Arity())
+			return nil, fmt.Errorf("%w: atom %s has %d arguments, relation has arity %d",
+				ErrSchema, a.Pred, len(a.Args), rel.Schema().Arity())
 		}
 		rels[i] = rel
 		lens[i] = rel.Len()
@@ -293,21 +299,31 @@ type frameFn func(frame []string, matches []Match) error
 
 // exec is one execution of a plan: a slot frame, a match stack and per-step
 // lookup buffers, all allocated once and reused across the enumeration.
+// When built with a cancellable context the execution re-checks ctx.Done()
+// every ctxCheckInterval candidate tuples and aborts with the context's
+// error; executions under context.Background() pay nothing.
 type exec struct {
 	p         *Plan
 	frame     []string
 	matches   []Match
 	lookupBuf [][]string
 	fn        frameFn
+
+	ctx      context.Context
+	done     <-chan struct{} // nil: context can never be canceled
+	ctxCount int             // candidates left until the next ctx check
 }
 
-func (p *Plan) newExec(fn frameFn) *exec {
+func (p *Plan) newExec(ctx context.Context, fn frameFn) *exec {
 	e := &exec{
 		p:       p,
 		frame:   make([]string, len(p.varOf)),
 		matches: make([]Match, len(p.steps)),
 		fn:      fn,
+		ctx:     ctx,
+		done:    ctx.Done(),
 	}
+	e.ctxCount = ctxCheckInterval
 	e.lookupBuf = make([][]string, len(p.steps))
 	for i := range p.steps {
 		if n := len(p.steps[i].lookupSrc); n > 0 {
@@ -319,10 +335,33 @@ func (p *Plan) newExec(fn frameFn) *exec {
 	return e
 }
 
+// checkCtx is the periodic cancellation probe: it decrements the candidate
+// budget and, every ctxCheckInterval candidates, reports the context's error
+// if the context was canceled. With no cancellable context it is a single
+// branch on a nil channel.
+func (e *exec) checkCtx() error {
+	if e.done == nil {
+		return nil
+	}
+	if e.ctxCount--; e.ctxCount > 0 {
+		return nil
+	}
+	e.ctxCount = ctxCheckInterval
+	select {
+	case <-e.done:
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // feed runs one candidate tuple of step depth through the bind program and
 // the step's comparisons, then descends. A failed check is not an error —
 // the candidate simply yields no bindings.
 func (e *exec) feed(depth int, t storage.Tuple) error {
+	if err := e.checkCtx(); err != nil {
+		return err
+	}
 	st := &e.p.steps[depth]
 	for _, op := range st.binds {
 		if op.kind == opBind {
@@ -370,20 +409,25 @@ func (e *exec) run(depth int) error {
 
 // frames enumerates every satisfying valuation of the plan, dispatching to
 // the scatter-gather driver for partitioned views and to the adaptive
-// parallel driver otherwise. fn is never invoked concurrently.
-func (p *Plan) frames(opts Options, fn frameFn) error {
+// parallel driver otherwise. fn is never invoked concurrently. Every
+// strategy re-checks ctx at partition and frame boundaries, so a canceled
+// enumeration returns promptly with the context's error.
+func (p *Plan) frames(ctx context.Context, opts Options, fn frameFn) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, c := range p.preComps {
 		if !c.holds(nil) { // constant-only: never touches the frame
 			return nil
 		}
 	}
 	if p.part != nil && p.part.NumShards() > 1 {
-		return p.scatterFrames(opts, fn)
+		return p.scatterFrames(ctx, opts, fn)
 	}
 	if w := p.workers(opts); w > 1 {
-		return p.parallelFrames(w, fn)
+		return p.parallelFrames(ctx, w, fn)
 	}
-	return p.newExec(fn).run(0)
+	return p.newExec(ctx, fn).run(0)
 }
 
 // workers resolves the effective worker count for a plain (unpartitioned)
@@ -417,8 +461,17 @@ func (p *Plan) workers(opts Options) int {
 // a Binding only at this callback edge; the map is reused across deliveries
 // (fn must not retain it — same contract as the package-level entry points).
 func (p *Plan) EvalBindings(opts Options, fn func(Binding, []Match) error) error {
+	return p.EvalBindingsCtx(context.Background(), opts, fn)
+}
+
+// EvalBindingsCtx is EvalBindings under a context: the enumeration re-checks
+// ctx at partition and frame boundaries in every execution strategy
+// (sequential, worker-pool, scatter-gather) and returns ctx.Err() promptly
+// once the context is canceled, so a dead client stops burning cores
+// mid-join. Under context.Background() the checks cost nothing.
+func (p *Plan) EvalBindingsCtx(ctx context.Context, opts Options, fn func(Binding, []Match) error) error {
 	b := make(Binding, len(p.varOf))
-	return p.frames(opts, func(frame []string, ms []Match) error {
+	return p.frames(ctx, opts, func(frame []string, ms []Match) error {
 		for i, name := range p.varOf {
 			b[name] = frame[i]
 		}
@@ -430,16 +483,27 @@ func (p *Plan) EvalBindings(opts Options, fn func(Binding, []Match) error) error
 // reusable key buffer and deterministically sorted, so every execution
 // strategy produces byte-identical results.
 func (p *Plan) Eval(opts Options) (*Result, error) {
+	return p.EvalCtx(context.Background(), opts)
+}
+
+// EvalCtx is Eval under a context, with the same cancellation contract as
+// EvalBindingsCtx. When opts.MaxTuples is set, the enumeration aborts with
+// ErrTupleLimit as soon as it has produced more distinct tuples than the
+// bound allows.
+func (p *Plan) EvalCtx(ctx context.Context, opts Options) (*Result, error) {
 	res := &Result{Cols: p.cols, keys: make(map[string]bool)}
 	var keyBuf []byte
 	var keys []string
-	err := p.frames(opts, func(frame []string, _ []Match) error {
+	err := p.frames(ctx, opts, func(frame []string, _ []Match) error {
 		keyBuf = keyBuf[:0]
 		for _, src := range p.headSrc {
 			keyBuf = appendKeyPart(keyBuf, src.value(frame))
 		}
 		if res.keys[string(keyBuf)] { // no-alloc map probe
 			return nil
+		}
+		if opts.MaxTuples > 0 && len(res.Tuples) >= opts.MaxTuples {
+			return fmt.Errorf("%w: more than %d output tuples", ErrTupleLimit, opts.MaxTuples)
 		}
 		k := string(keyBuf)
 		res.keys[k] = true

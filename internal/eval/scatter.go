@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -84,8 +85,10 @@ func (p *Plan) scatterWorkers(opts Options, cands int) int {
 // scatterFrames enumerates the plan scatter-gather across the partitioned
 // view's shards: the first step scans each candidate shard's local relation
 // (pruned through CandidateShards when the step binds the shard key), and
-// deeper steps run against the union view, which prunes per lookup.
-func (p *Plan) scatterFrames(opts Options, fn frameFn) error {
+// deeper steps run against the union view, which prunes per lookup. Shard
+// boundaries are cancellation points, and each shard's exec re-checks ctx
+// between candidate tuples.
+func (p *Plan) scatterFrames(ctx context.Context, opts Options, fn frameFn) error {
 	part := p.part
 	st0 := &p.steps[0]
 	var lookupVals []string
@@ -133,8 +136,11 @@ func (p *Plan) scatterFrames(opts Options, fn frameFn) error {
 
 	workers := p.scatterWorkers(opts, len(cands))
 	if workers <= 1 {
-		e := p.newExec(fn)
+		e := p.newExec(ctx, fn)
 		for _, si := range cands {
+			if err := ctx.Err(); err != nil { // shard boundary
+				return err
+			}
 			if err := scanShard(e, si); err != nil {
 				return err
 			}
@@ -152,7 +158,7 @@ func (p *Plan) scatterFrames(opts Options, fn frameFn) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := p.newExec(sink.deliver)
+			e := p.newExec(ctx, sink.deliver)
 			for si := range shardCh {
 				if sink.stopped() {
 					continue // drain remaining shard indexes

@@ -1,0 +1,154 @@
+package citare
+
+import (
+	"context"
+	"fmt"
+
+	"citare/internal/core"
+	"citare/internal/cq"
+	"citare/internal/datalog"
+	"citare/internal/format"
+	"citare/internal/sqlfe"
+	"citare/internal/storage"
+)
+
+// Request is one citation request: the query source plus per-request
+// options. Exactly one of SQL or Datalog must be set. The zero value of
+// every option field means "use the Citer's configuration".
+type Request struct {
+	// SQL is a conjunctive SQL query over the database schema.
+	SQL string
+	// Datalog is a query in the paper's notation, e.g.
+	//
+	//	Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)
+	Datalog string
+
+	// Format names the render format the response should use: json,
+	// json-compact, xml, bibtex or text. It is validated up front (an
+	// unknown name fails with ErrParse before any evaluation) and becomes
+	// the Citation's default for Rendered; it does not affect the citation
+	// itself. Empty means json.
+	Format string
+
+	// Parallel overrides the Citer's binding-enumeration workers for this
+	// request: 1 forces sequential evaluation, n > 1 caps the worker pool,
+	// and 0 keeps the Citer's setting (adaptive by default).
+	Parallel int
+
+	// MaxRewritings tightens rewriting enumeration for this request; 0
+	// keeps the policy's bound, and a non-zero policy bound can only be
+	// lowered, never raised. Tighter bounds trade citation completeness
+	// for latency on view-heavy deployments.
+	MaxRewritings int
+
+	// MaxTuples bounds the number of answer tuples the query may produce.
+	// A query exceeding the bound aborts promptly with ErrLimit instead of
+	// enumerating (and citing) a result nobody can page through. 0 means
+	// unbounded.
+	MaxTuples int
+}
+
+// parse validates the request shape and translates the query text into the
+// internal query form. All failures are tagged ErrParse.
+func (r Request) parse(schema *storage.Schema) (*cq.Query, error) {
+	if (r.SQL == "") == (r.Datalog == "") {
+		return nil, fmt.Errorf("%w: provide exactly one of SQL or Datalog", ErrParse)
+	}
+	if r.Format != "" {
+		if _, err := format.RendererByName(r.Format); err != nil {
+			return nil, parseError(err)
+		}
+	}
+	var (
+		q   *cq.Query
+		err error
+	)
+	if r.SQL != "" {
+		q, err = sqlfe.Parse(schema, r.SQL)
+	} else {
+		q, err = datalog.ParseQuery(r.Datalog)
+	}
+	if err != nil {
+		return nil, parseError(err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, parseError(err)
+	}
+	return q, nil
+}
+
+// renderFormat is the request's effective render format.
+func (r Request) renderFormat() string {
+	if r.Format == "" {
+		return "json"
+	}
+	return r.Format
+}
+
+// citeOptions translates the request's knobs to the engine's options.
+func (r Request) citeOptions() core.CiteOptions {
+	return core.CiteOptions{
+		Parallel:      r.Parallel,
+		MaxRewritings: r.MaxRewritings,
+		MaxTuples:     r.MaxTuples,
+	}
+}
+
+// Cite evaluates one request: the query is parsed, rewritten over the
+// citation views, evaluated against the engine's snapshot, and its citation
+// assembled. The context governs the whole pipeline — a canceled or expired
+// ctx aborts evaluation at the next partition or frame boundary and returns
+// an error tagged ErrCanceled. All errors are tagged with the package's
+// taxonomy (ErrParse, ErrSchema, ErrCanceled, ErrLimit).
+func (c *Citer) Cite(ctx context.Context, req Request) (*Citation, error) {
+	q, err := req.parse(c.schema)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.engine.CiteCtx(ctx, q, req.citeOptions())
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &Citation{res: res, format: req.renderFormat()}, nil
+}
+
+// Tuple is one answer tuple streamed by CiteEach, carrying its citation in
+// both the paper's polynomial notation and rendered JSON.
+type Tuple struct {
+	// Index is the tuple's position in the deterministic result order.
+	Index int
+	// Values are the tuple's column values (aligned with the query head).
+	Values []string
+	// Polynomial is the tuple's citation polynomial, e.g.
+	// CV1("13")·CV2("13") + CV4("gpcr")·CV2("13").
+	Polynomial string
+	// CitationJSON is the tuple's rendered citation record as compact JSON.
+	CitationJSON string
+}
+
+// CiteEach evaluates one request and streams each answer tuple's citation
+// through fn in the deterministic result order, without materializing the
+// full per-tuple citation list or the aggregated result-set citation — the
+// way to page a very large result. fn returning an error aborts the stream
+// with that error; context cancellation aborts with ErrCanceled.
+func (c *Citer) CiteEach(ctx context.Context, req Request, fn func(Tuple) error) error {
+	if fn == nil {
+		return fmt.Errorf("%w: CiteEach requires a callback", ErrParse)
+	}
+	q, err := req.parse(c.schema)
+	if err != nil {
+		return err
+	}
+	i := 0
+	_, err = c.engine.CiteEach(ctx, q, req.citeOptions(), func(tc *core.TupleCitation) error {
+		t := Tuple{
+			Index:        i,
+			Values:       append([]string(nil), tc.Tuple...),
+			Polynomial:   core.PolyString(tc.Combined),
+			CitationJSON: tc.Rendered.JSON(),
+		}
+		i++
+		return fn(t)
+	})
+	return classify(err)
+}
