@@ -75,11 +75,33 @@ func (c *Citer) CiteBatch(ctx context.Context, reqs []Request) ([]*Citation, err
 		g.indices = append(g.indices, i)
 	}
 
-	// Evaluate distinct groups concurrently (the engine is safe for
-	// concurrent Cite) with a worker cap; each group's members share the
-	// single evaluated citation. The first failure cancels the shared
-	// context so sibling groups stop instead of finishing work the batch
-	// will discard anyway.
+	c.evalGroups(ctx, reqs, order, out, errs, true)
+
+	for i, err := range errs {
+		if err != nil {
+			// Siblings canceled by the batch's own abort are collateral: the
+			// earliest non-cancellation failure is the one to report, when
+			// there is one.
+			if errors.Is(err, ErrCanceled) {
+				if first := firstRealError(errs); first != nil {
+					return nil, first
+				}
+			}
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// evalGroups evaluates distinct batch groups concurrently through the engine
+// (which is safe for concurrent Cite) with a worker cap; each group's
+// members share the single evaluated citation, landing in their out slots on
+// success and their errs slots (taxonomy-tagged) on failure. With failFast
+// set, the first failing group cancels the shared context so sibling groups
+// stop instead of finishing work the batch will discard; without it,
+// failures stay confined to their own groups and every other group runs to
+// completion (external ctx cancellation still stops everything).
+func (c *Citer) evalGroups(ctx context.Context, reqs []Request, order []*batchGroup, out []*Citation, errs []error, failFast bool) {
 	ctx, cancelBatch := context.WithCancel(ctx)
 	defer cancelBatch()
 	workers := runtime.GOMAXPROCS(0)
@@ -105,27 +127,65 @@ func (c *Citer) CiteBatch(ctx context.Context, reqs []Request) ([]*Citation, err
 				}
 				out[i] = &Citation{res: res, format: reqs[i].renderFormat()}
 			}
-			if err != nil {
+			if err != nil && failFast {
 				cancelBatch()
 			}
 		}(g)
 	}
 	wg.Wait()
+}
 
-	for i, err := range errs {
-		if err != nil {
-			// Siblings canceled by the batch's own abort are collateral: the
-			// earliest non-cancellation failure is the one to report, unless
-			// the whole batch was canceled from outside.
-			if errors.Is(err, ErrCanceled) && ctx.Err() != nil {
-				if first := firstRealError(errs); first != nil {
-					return nil, first
-				}
-			}
-			return nil, &BatchError{Index: i, Err: err}
-		}
+// BatchItem is one request's outcome in a per-item batch (CiteBatchItems):
+// exactly one of Citation and Err is set.
+type BatchItem struct {
+	// Citation is the request's citation; nil when the request failed.
+	Citation *Citation
+	// Err is the request's error, tagged with the package taxonomy
+	// (ErrParse, ErrSchema, ErrCanceled, ErrLimit); nil on success.
+	Err error
+}
+
+// CiteBatchItems evaluates a batch of requests with per-item error
+// isolation: a failing request — malformed text, schema mismatch, a
+// per-request bound exceeded — yields its typed error in its own slot while
+// every other request still evaluates, so one bad request in a batch of a
+// hundred no longer costs the other ninety-nine. The returned slice always
+// has len(reqs) entries, aligned with the requests.
+//
+// Work is amortized exactly as in CiteBatch: requests sharing a canonical
+// query evaluate once, distinct groups run concurrently, and view
+// materialization is shared across the batch. Canceling ctx stops all
+// remaining evaluation; unfinished requests report ErrCanceled in their
+// slots. Use CiteBatch for the all-or-nothing contract.
+func (c *Citer) CiteBatchItems(ctx context.Context, reqs []Request) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	if len(reqs) == 0 {
+		return items
 	}
-	return out, nil
+	out := make([]*Citation, len(reqs))
+	errs := make([]error, len(reqs))
+	groups := make(map[string]*batchGroup, len(reqs))
+	var order []*batchGroup
+	for i, req := range reqs {
+		q, err := req.parse(c.schema)
+		if err != nil {
+			errs[i] = err // parse already tags with the taxonomy
+			continue
+		}
+		key := batchKey(q, req)
+		g := groups[key]
+		if g == nil {
+			g = &batchGroup{q: q, opts: req.citeOptions()}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+	c.evalGroups(ctx, reqs, order, out, errs, false)
+	for i := range reqs {
+		items[i] = BatchItem{Citation: out[i], Err: errs[i]}
+	}
+	return items
 }
 
 // firstRealError returns the first batch error that is not a cancellation,

@@ -144,6 +144,94 @@ func TestCiteBatchErrors(t *testing.T) {
 	}
 }
 
+// TestCiteBatchItems: per-item error isolation — a parse failure and an
+// evaluation-time limit failure land as typed errors in their own slots while
+// the surrounding requests still evaluate, byte-identical to solo Cite calls.
+func TestCiteBatchItems(t *testing.T) {
+	c := newPaperCiter(t)
+	solo := newPaperCiter(t)
+	ctx := context.Background()
+
+	reqs := []Request{
+		{Datalog: gpcrJoinDatalog},
+		{SQL: "SELEKT"},
+		{Datalog: `Q(N) :- Family(F, N, Ty), F = "11"`},
+		{Datalog: gpcrJoinDatalog, MaxTuples: 1}, // fails during evaluation
+	}
+	items := c.CiteBatchItems(ctx, reqs)
+	if len(items) != len(reqs) {
+		t.Fatalf("items: %d, want %d", len(items), len(reqs))
+	}
+	for _, i := range []int{0, 2} {
+		if items[i].Err != nil || items[i].Citation == nil {
+			t.Fatalf("item %d: err = %v, want success", i, items[i].Err)
+		}
+		want, err := solo.Cite(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if items[i].Citation.CitationJSON() != want.CitationJSON() {
+			t.Fatalf("item %d citation diverged from solo Cite", i)
+		}
+	}
+	if items[1].Citation != nil || !errors.Is(items[1].Err, ErrParse) {
+		t.Fatalf("item 1: err = %v, want ErrParse and nil citation", items[1].Err)
+	}
+	if items[3].Citation != nil || !errors.Is(items[3].Err, ErrLimit) {
+		t.Fatalf("item 3: err = %v, want ErrLimit and nil citation", items[3].Err)
+	}
+
+	// A pre-canceled context marks every evaluated item ErrCanceled; parse
+	// failures keep their own, more specific error.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	items = c.CiteBatchItems(canceled, reqs[:2])
+	if !errors.Is(items[0].Err, ErrCanceled) {
+		t.Fatalf("canceled item 0: err = %v, want ErrCanceled", items[0].Err)
+	}
+	if !errors.Is(items[1].Err, ErrParse) {
+		t.Fatalf("canceled item 1: err = %v, want ErrParse", items[1].Err)
+	}
+
+	if items := c.CiteBatchItems(ctx, nil); len(items) != 0 {
+		t.Fatalf("empty batch: %d items, want 0", len(items))
+	}
+}
+
+// TestCachedCiterBatchItems: the cached per-item batch serves hits from the
+// cache, never caches failures, and keeps error slots isolated.
+func TestCachedCiterBatchItems(t *testing.T) {
+	cached := NewCached(newPaperCiter(t))
+	ctx := context.Background()
+
+	reqs := []Request{
+		{Datalog: gpcrJoinDatalog},
+		{SQL: "SELEKT"},
+		{Datalog: `Q(N) :- Family(F, N, Ty), F = "11"`},
+	}
+	first := cached.CiteBatchItems(ctx, reqs)
+	if first[0].Err != nil || first[2].Err != nil || !errors.Is(first[1].Err, ErrParse) {
+		t.Fatalf("first pass: errs = [%v %v %v]", first[0].Err, first[1].Err, first[2].Err)
+	}
+
+	// Second identical batch: the successes come from the cache (no new
+	// compilation), the parse failure errors again.
+	_, preMisses := cached.Citer().Engine().LogicalPlanStats()
+	second := cached.CiteBatchItems(ctx, reqs)
+	if _, postMisses := cached.Citer().Engine().LogicalPlanStats(); postMisses != preMisses {
+		t.Fatal("second per-item batch recompiled instead of hitting the cache")
+	}
+	if !errors.Is(second[1].Err, ErrParse) {
+		t.Fatalf("second pass item 1: err = %v, want ErrParse", second[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if second[i].Err != nil ||
+			second[i].Citation.CitationJSON() != first[i].Citation.CitationJSON() {
+			t.Fatalf("item %d diverged across cached batches", i)
+		}
+	}
+}
+
 // TestCachedCiterBatch: the cached batch serves hits from the cache, routes
 // misses through the plan-shared batch, and fills the cache for later
 // single-request hits.

@@ -168,6 +168,62 @@ func (c *CachedCiter) CiteBatch(ctx context.Context, reqs []Request) ([]*Citatio
 	return out, nil
 }
 
+// CiteBatchItems evaluates a batch with per-item error isolation through
+// the cache: cached requests are served immediately, the remaining distinct
+// queries evaluate through the underlying Citer's CiteBatchItems, and the
+// successful results are cached for later requests. A failing request yields
+// its typed error in its own slot — errors are never cached. See
+// Citer.CiteBatchItems.
+func (c *CachedCiter) CiteBatchItems(ctx context.Context, reqs []Request) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	if len(reqs) == 0 {
+		return items
+	}
+	var missIdx []int
+	var missKeys []string // "" = unsatisfiable, not cacheable
+	epoch := c.epoch.Load()
+	for i, req := range reqs {
+		q, err := req.parse(c.citer.schema)
+		if err != nil {
+			items[i] = BatchItem{Err: err}
+			continue
+		}
+		key, ok := cacheKey(q)
+		if !ok {
+			missIdx = append(missIdx, i)
+			missKeys = append(missKeys, "")
+			continue
+		}
+		key = fmt.Sprintf("%d|mr=%d|mt=%d|%s", epoch, req.MaxRewritings, req.MaxTuples, key)
+		if ct, hit := c.entries.Get(key); hit {
+			if ct.format != req.renderFormat() {
+				withFormat := *ct
+				withFormat.format = req.renderFormat()
+				ct = &withFormat
+			}
+			items[i] = BatchItem{Citation: ct}
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missKeys = append(missKeys, key)
+	}
+	if len(missIdx) == 0 {
+		return items
+	}
+	missReqs := make([]Request, len(missIdx))
+	for j, i := range missIdx {
+		missReqs[j] = reqs[i]
+	}
+	computed := c.citer.CiteBatchItems(ctx, missReqs)
+	for j, i := range missIdx {
+		items[i] = computed[j]
+		if computed[j].Err == nil && missKeys[j] != "" {
+			c.entries.Put(missKeys[j], computed[j].Citation)
+		}
+	}
+	return items
+}
+
 // CiteEach streams per-tuple citations for one request; streaming results
 // are not cached. See Citer.CiteEach.
 func (c *CachedCiter) CiteEach(ctx context.Context, req Request, fn func(Tuple) error) error {

@@ -36,9 +36,17 @@
 //     one evaluation, distinct groups run concurrently, and view
 //     materialization is shared across the whole batch. Output is identical
 //     to independent Cite calls.
+//   - CiteBatchItems(ctx, reqs) is the per-item variant: same grouping and
+//     sharing, but a failing request yields a typed error in its own slot
+//     while the others still evaluate.
 //   - CiteEach(ctx, req, fn) streams per-tuple citations in deterministic
-//     order without materializing the full result — for paging very large
-//     answers.
+//     order through a pull-iterator pipeline (eval frames → rewriting
+//     gather → lazy token rendering, with per-tuple backpressure): the
+//     first tuple's citation reaches fn before later tuples render, the
+//     full per-tuple list and the aggregated result-set citation are never
+//     materialized, and the output is byte-identical to Cite's tuples —
+//     the way to page a very large answer. citesrv exposes it as NDJSON on
+//     POST /v1/cite/stream.
 //
 // Failures are classified by a typed taxonomy — ErrParse, ErrSchema,
 // ErrCanceled, ErrLimit — inspected with errors.Is; the original cause

@@ -8,10 +8,12 @@
 //	citebench -json BENCH_3.json  # machine-readable ns/op + allocs/op
 //
 // The committed BENCH_<pr>.json artifacts form the repo's perf trajectory;
-// -regress compares two of them as a regression gate:
+// -regress compares a chain of them, each adjacent pair, as a regression
+// gate:
 //
-//	citebench -regress BENCH_2.json,BENCH_3.json   # warn on >1.5× allocs/op
-//	citebench -strict -regress OLD,NEW             # exit 1 on regression
+//	citebench -regress BENCH_2.json,BENCH_3.json        # warn on >1.5× allocs/op
+//	citebench -regress BENCH_3.json,BENCH_5.json,BENCH_6.json
+//	citebench -strict -regress OLD,...,NEW              # exit 1 on regression
 //
 // The allocs/op comparison is deterministic across machines; ns/op is
 // reported for context only (single-core CI runners make timing noisy).
@@ -43,9 +45,9 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B17)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B18)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
-	regress := flag.String("regress", "", "compare two committed bench JSON files OLD,NEW and report allocs/op regressions")
+	regress := flag.String("regress", "", "compare committed bench JSON files OLD,...,NEW pairwise and report allocs/op regressions")
 	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
 	flag.BoolVar(&quick, "quick", false, "fewer timing iterations")
 	flag.Parse()
@@ -92,6 +94,7 @@ func main() {
 		{"B15", "pruned point-lookup citations", runB15},
 		{"B16", "scatter-gather join throughput", runB16},
 		{"B17", "batch throughput: CiteBatch vs independent Cite", runB17},
+		{"B18", "streamed vs materialized join: bytes/op and allocs/op", runB18},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -644,20 +647,88 @@ func runB17() error {
 	return nil
 }
 
+// runB18 measures the streamed (pull-iterator) chain3-600 join against the
+// materialized path on allocation footprint. The frame iterator hands out
+// recycled batches, so draining the whole join allocates a near-constant
+// amount; the materialized Result pays one tuple copy, one key and one dedup
+// entry per distinct output. The streamed cite pipeline (CiteEach) rides the
+// same iterators and is reported alongside.
+func runB18() error {
+	db := workload.ChainDB(3, 600, 64, 7)
+	q := workload.ChainQuery(3)
+	pl, err := eval.Compile(eval.DBViewOf(db), q)
+	if err != nil {
+		return err
+	}
+	fmt.Println("   | path                  | rows | bytes/op | allocs/op |")
+	fmt.Println("   |-----------------------|-----:|---------:|----------:|")
+	report := func(name string, rows int, r testing.BenchmarkResult) {
+		fmt.Printf("   | %-21s | %4d | %8d | %9d |\n", name, rows, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	var outRows int
+	materialized := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := eval.EvalOpts(db, q, eval.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			outRows = len(res.Tuples)
+		}
+	})
+	report("materialized result", outRows, materialized)
+	var frameRows int
+	streamed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			it := pl.Frames(context.Background(), eval.Options{})
+			n := 0
+			for it.Next() {
+				n++
+			}
+			if err := it.Err(); err != nil {
+				b.Fatal(err)
+			}
+			it.Close()
+			frameRows = n
+		}
+	})
+	report("streamed frames", frameRows, streamed)
+	ratio := float64(streamed.AllocedBytesPerOp()) / float64(max(materialized.AllocedBytesPerOp(), 1))
+	fmt.Printf("   streamed/materialized bytes/op = %.2fx (target ≤ 0.50x)\n", ratio)
+	if ratio > 0.5 {
+		return fmt.Errorf("streamed join allocates %.2fx of the materialized path's bytes/op, want ≤ 0.50x", ratio)
+	}
+	return nil
+}
+
 // allocRegressionTolerance is the allocs/op ratio (new/old) above which a
 // benchmark counts as regressed. Generous on purpose: allocation counts are
 // deterministic but small suites jitter a little with map layouts and LRU
 // state, and the gate should only catch real structural regressions.
 const allocRegressionTolerance = 1.5
 
-// checkRegression compares two committed bench JSON artifacts ("OLD,NEW")
-// on allocs/op, printing a table and reporting whether every benchmark
-// present in both stayed within tolerance. ns/op is shown for context only.
+// checkRegression compares a chain of committed bench JSON artifacts
+// ("OLD,...,NEW", oldest first) pairwise on allocs/op, printing a table per
+// adjacent pair and reporting whether every benchmark shared by a pair
+// stayed within tolerance. ns/op is shown for context only.
 func checkRegression(spec string) (ok bool, err error) {
 	parts := strings.Split(spec, ",")
-	if len(parts) != 2 {
-		return false, fmt.Errorf("-regress wants OLD.json,NEW.json, got %q", spec)
+	if len(parts) < 2 {
+		return false, fmt.Errorf("-regress wants OLD.json,...,NEW.json (at least two files), got %q", spec)
 	}
+	ok = true
+	for i := 0; i+1 < len(parts); i++ {
+		fmt.Printf("== %s -> %s ==\n", parts[i], parts[i+1])
+		pairOK, err := checkRegressionPair(parts[i], parts[i+1])
+		if err != nil {
+			return false, err
+		}
+		ok = ok && pairOK
+	}
+	return ok, nil
+}
+
+// checkRegressionPair gates one OLD→NEW step of the perf trajectory.
+func checkRegressionPair(oldPath, newPath string) (ok bool, err error) {
 	load := func(path string) (map[string]benchJSON, error) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -673,11 +744,11 @@ func checkRegression(spec string) (ok bool, err error) {
 		}
 		return m, nil
 	}
-	oldM, err := load(parts[0])
+	oldM, err := load(oldPath)
 	if err != nil {
 		return false, err
 	}
-	newM, err := load(parts[1])
+	newM, err := load(newPath)
 	if err != nil {
 		return false, err
 	}
@@ -689,14 +760,14 @@ func checkRegression(spec string) (ok bool, err error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return false, fmt.Errorf("no shared benchmarks between %s and %s", parts[0], parts[1])
+		return false, fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
 	}
 	ok = true
 	// A benchmark that vanished from NEW is a gate hole, not a pass: flag it.
 	for name := range oldM {
 		if _, still := newM[name]; !still {
 			ok = false
-			fmt.Printf("%-45s MISSING from %s\n", name, parts[1])
+			fmt.Printf("%-45s MISSING from %s\n", name, newPath)
 		}
 	}
 	fmt.Printf("%-45s %12s %12s %7s\n", "benchmark", "allocs(old)", "allocs(new)", "ratio")
@@ -738,6 +809,10 @@ func writeBenchJSON(path string) error {
 	gdb := gtopdb.Generate(cfg)
 	chainDB := workload.ChainDB(3, 600, 64, 7)
 	chainQ := workload.ChainQuery(3)
+	chainPlan, err := eval.Compile(eval.DBViewOf(chainDB), chainQ)
+	if err != nil {
+		return err
+	}
 	sdb4, err := shard.FromDB(gdb, 4)
 	if err != nil {
 		return err
@@ -817,6 +892,36 @@ func writeBenchJSON(path string) error {
 		{"join/chain3-600/unsharded", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := eval.EvalOpts(chainDB, chainQ, eval.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/chain3-600/frames", func(b *testing.B) { // B18
+			for i := 0; i < b.N; i++ {
+				it := chainPlan.Frames(context.Background(), eval.Options{})
+				for it.Next() {
+				}
+				if err := it.Err(); err != nil {
+					b.Fatal(err)
+				}
+				it.Close()
+			}
+		}},
+		{"stream/chain3-600/tuples", func(b *testing.B) { // B18
+			for i := 0; i < b.N; i++ {
+				it := chainPlan.Tuples(context.Background(), eval.Options{})
+				for it.Next() {
+				}
+				if err := it.Err(); err != nil {
+					b.Fatal(err)
+				}
+				it.Close()
+			}
+		}},
+		{"cite-each/gtopdb-join/families=500", func(b *testing.B) { // B18 cite level
+			req := citare.Request{Datalog: joinQ}
+			for i := 0; i < b.N; i++ {
+				if err := citer.CiteEach(context.Background(), req, func(citare.Tuple) error { return nil }); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,6 +4,7 @@
 //	citesrv -addr :8437 -timeout 30s
 //
 //	POST /v1/cite          → one citation (v1 wire schema below)
+//	POST /v1/cite/stream   → per-tuple citations as NDJSON, streamed
 //	POST /v1/cite/batch    → a batch of citations, plan-shared
 //	POST /cite             → deprecated shim for /v1/cite (same schema)
 //	GET  /views            → the citation views
@@ -35,19 +36,53 @@
 //	  "format":      "json"
 //	}
 //
-// A batch request wraps many requests; the response carries one result per
-// request in order:
+// # Streaming: /v1/cite/stream
+//
+// The streaming endpoint accepts the same request object as /v1/cite and
+// answers with newline-delimited JSON (Content-Type application/x-ndjson,
+// chunked): one tuple-citation object per line, in the deterministic result
+// order, flushed as soon as that tuple's citation is rendered — the first
+// line reaches the client before later tuples' citations exist. The final
+// line is always a trailer object carrying the total and, when the stream
+// died mid-flight, the typed error:
+//
+//	{"index": 0, "values": ["adenosine receptors"],
+//	 "polynomial": "CV1(\"11\")·CV2(\"11\")", "citation": {...}}
+//	{"index": 1, ...}
+//	{"trailer": {"tuples": 2}}
+//
+//	{"index": 0, ...}
+//	{"trailer": {"tuples": 1, "error": {"code": "canceled", "message": "..."}}}
+//
+// A request that fails before the first tuple is written — parse error,
+// unsatisfiable bound, pre-stream cancellation — gets the plain typed error
+// envelope with its usual HTTP status instead of a 200 NDJSON stream.
+// Citations stream per tuple; the aggregated result-set citation is never
+// materialized, so very large answers flow in constant server memory.
+//
+// # Batches: /v1/cite/batch
+//
+// A batch request wraps many requests; the response carries one slot per
+// request in order, each with its own status and either a result or a typed
+// error — a failing request costs only its own slot, the others still
+// evaluate:
 //
 //	POST /v1/cite/batch   {"requests": [{...}, {...}]}
-//	                    → {"results":  [{...}, {...}]}
+//	                    → {"results":  [{"status": 200, "result": {...}},
+//	                                    {"status": 400, "error": {"code": "parse", ...}}]}
 //
-// Requests in one batch that canonicalize to the same query share one
-// logical-plan compilation and one evaluation, and view materialization is
-// shared across the whole batch — k copies of one query cost one citation.
+// The response status is 200 whenever any slot differs from the rest; when
+// every request fails with one uniform status (all unparsable, the shared
+// deadline expired, ...) that 4xx/5xx is also the response status, so
+// naive clients and proxies still see the failure. Requests in one batch
+// that canonicalize to the same query share one logical-plan compilation
+// and one evaluation, and view materialization is shared across the whole
+// batch — k copies of one query cost one citation.
+//
+// # Errors
 //
 // Failures use a typed error envelope mapped from the citare error
-// taxonomy; batch failures are all-or-nothing and name the first failing
-// request:
+// taxonomy:
 //
 //	{"error": {"code": "parse", "message": "...", "index": 0}}
 //
@@ -136,8 +171,38 @@ type batchRequest struct {
 	Requests []citeRequest `json:"requests"`
 }
 
+// batchItemResult is one request's slot in the batch envelope: its own
+// HTTP-equivalent status plus either a result or a typed error.
+type batchItemResult struct {
+	Status int           `json:"status"`
+	Result *citeResponse `json:"result,omitempty"`
+	Error  *errorBody    `json:"error,omitempty"`
+}
+
 type batchResponse struct {
-	Results []citeResponse `json:"results"`
+	Results []batchItemResult `json:"results"`
+}
+
+// streamTuple is one NDJSON line of /v1/cite/stream: one answer tuple with
+// its citation polynomial and rendered citation record.
+type streamTuple struct {
+	Index      int             `json:"index"`
+	Values     []string        `json:"values"`
+	Polynomial string          `json:"polynomial"`
+	Citation   json.RawMessage `json:"citation"`
+}
+
+// streamTrailerLine is the final NDJSON line of /v1/cite/stream.
+type streamTrailerLine struct {
+	Trailer streamTrailer `json:"trailer"`
+}
+
+type streamTrailer struct {
+	// Tuples counts the tuple lines written before the trailer.
+	Tuples int `json:"tuples"`
+	// Error reports a stream that died after tuples were already written;
+	// absent on a complete stream.
+	Error *errorBody `json:"error,omitempty"`
 }
 
 // errorEnvelope is the v1 error wire form.
@@ -248,8 +313,69 @@ func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCiteStream serves POST /v1/cite/stream: per-tuple citations as
+// NDJSON, one line per tuple flushed as soon as its citation renders, a
+// trailer line last. Failures before the first tuple fall back to the plain
+// typed-error response with its HTTP status.
+func (s *server) handleCiteStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req citeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	// Header().Set sends nothing by itself: if the stream fails before the
+	// first tuple line, writeError below still replaces the Content-Type and
+	// picks the real status.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // Encode appends the NDJSON newline
+	sent := 0
+	err := s.citer.CiteEach(ctx, req.request(), func(t citare.Tuple) error {
+		line := streamTuple{
+			Index:      t.Index,
+			Values:     t.Values,
+			Polynomial: t.Polynomial,
+			Citation:   json.RawMessage(t.CitationJSON),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		sent++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && sent == 0 {
+		writeError(w, err, -1)
+		return
+	}
+	trailer := streamTrailer{Tuples: sent}
+	if err != nil {
+		// The stream is already committed as 200 NDJSON; the trailer carries
+		// the typed error instead of a status line.
+		_, code := classifyStatus(err)
+		trailer.Error = &errorBody{Code: code, Message: err.Error()}
+	}
+	if err := enc.Encode(streamTrailerLine{Trailer: trailer}); err != nil {
+		log.Printf("citesrv: encode trailer: %v", err)
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 // handleCiteBatch serves POST /v1/cite/batch: the whole batch shares one
-// deadline and evaluates plan-shared through CiteBatch.
+// deadline and evaluates plan-shared through CiteBatchItems, so a failing
+// request fills only its own slot. The response status stays 200 unless
+// every slot failed with one uniform status.
 func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -270,26 +396,38 @@ func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	results, err := s.citer.CiteBatch(ctx, reqs)
-	if err != nil {
-		var be *citare.BatchError
-		if errors.As(err, &be) {
-			writeError(w, be.Err, be.Index)
-			return
+	items := s.citer.CiteBatchItems(ctx, reqs)
+	resp := batchResponse{Results: make([]batchItemResult, len(items))}
+	uniform := 0 // shared status of every slot so far; -1 once they diverge
+	for i, item := range items {
+		itemErr := item.Err
+		if itemErr == nil {
+			shaped, err := respond(item.Citation)
+			if err == nil {
+				resp.Results[i] = batchItemResult{Status: http.StatusOK, Result: &shaped}
+				if uniform == 0 {
+					uniform = http.StatusOK
+				} else if uniform != http.StatusOK {
+					uniform = -1
+				}
+				continue
+			}
+			itemErr = err
 		}
-		writeError(w, err, -1)
-		return
+		status, code := classifyStatus(itemErr)
+		resp.Results[i] = batchItemResult{Status: status, Error: &errorBody{Code: code, Message: itemErr.Error()}}
+		if uniform == 0 {
+			uniform = status
+		} else if uniform != status {
+			uniform = -1
+		}
 	}
-	resp := batchResponse{Results: make([]citeResponse, len(results))}
-	for i, res := range results {
-		shaped, err := respond(res)
-		if err != nil {
-			writeError(w, err, i)
-			return
-		}
-		resp.Results[i] = shaped
+	status := http.StatusOK
+	if uniform > 0 && uniform != http.StatusOK {
+		status = uniform // every request failed the same way
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("citesrv: encode: %v", err)
 	}
@@ -335,6 +473,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/cite", s.handleCite)
+	mux.HandleFunc("/v1/cite/stream", s.handleCiteStream)
 	mux.HandleFunc("/v1/cite/batch", s.handleCiteBatch)
 	mux.HandleFunc("/cite", s.handleCite) // deprecated: use /v1/cite
 	mux.HandleFunc("/views", s.handleViews)

@@ -1,16 +1,27 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"citare"
+	"citare/internal/core"
+	"citare/internal/cq"
+	"citare/internal/datalog"
+	"citare/internal/format"
 	"citare/internal/gtopdb"
 	"citare/internal/shard"
+	"citare/internal/storage"
 )
 
 func testServer(t *testing.T) *server {
@@ -123,9 +134,10 @@ func TestHandleCiteTimeout(t *testing.T) {
 	}
 }
 
-// TestHandleCiteBatch exercises /v1/cite/batch: per-request results in
-// order, equivalent requests byte-identical to the single endpoint, and
-// all-or-nothing failures naming the first bad request.
+// TestHandleCiteBatch exercises /v1/cite/batch: per-request slots in order,
+// equivalent requests byte-identical to the single endpoint, per-item errors
+// confined to their own slots (200 envelope), and a uniform all-fail batch
+// keeping its 4xx status.
 func TestHandleCiteBatch(t *testing.T) {
 	s := testServer(t)
 	sql := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
@@ -154,30 +166,271 @@ func TestHandleCiteBatch(t *testing.T) {
 		t.Fatalf("results: %d, want 3", len(resp.Results))
 	}
 	for _, i := range []int{0, 2} {
-		got, _ := json.Marshal(resp.Results[i])
+		if resp.Results[i].Status != http.StatusOK || resp.Results[i].Result == nil {
+			t.Fatalf("batch slot %d: %+v, want 200 with result", i, resp.Results[i])
+		}
+		got, _ := json.Marshal(*resp.Results[i].Result)
 		wantRaw, _ := json.Marshal(want)
 		if string(got) != string(wantRaw) {
 			t.Fatalf("batch result %d diverged from single response:\n got %s\nwant %s", i, got, wantRaw)
 		}
 	}
-	if len(resp.Results[1].Rows) != 1 {
-		t.Fatalf("mixed batch member rows: %v", resp.Results[1].Rows)
+	if resp.Results[1].Result == nil || len(resp.Results[1].Result.Rows) != 1 {
+		t.Fatalf("mixed batch member rows: %+v", resp.Results[1])
 	}
 
-	// All-or-nothing: the second request is unparsable, the envelope says so.
+	// Per-item isolation: the unparsable request fails in its own slot with
+	// its own status; its siblings still evaluate and the envelope is 200.
 	bad := `{"requests": [` + sql + `, {"sql": "SELECT nope FROM Nada"}]}`
 	w = httptest.NewRecorder()
 	s.handleCiteBatch(w, httptest.NewRequest(http.MethodPost, "/v1/cite/batch", strings.NewReader(bad)))
-	if w.Code != http.StatusBadRequest {
-		t.Fatalf("bad batch: status %d (%s)", w.Code, w.Body.String())
+	if w.Code != http.StatusOK {
+		t.Fatalf("mixed batch: status %d (%s)", w.Code, w.Body.String())
 	}
-	var env errorEnvelope
-	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if env.Error.Code != "parse" || env.Error.Index == nil || *env.Error.Index != 1 {
-		t.Fatalf("bad batch envelope: %+v", env.Error)
+	if resp.Results[0].Status != http.StatusOK || resp.Results[0].Result == nil {
+		t.Fatalf("mixed batch slot 0: %+v, want success", resp.Results[0])
 	}
+	if resp.Results[1].Status != http.StatusBadRequest || resp.Results[1].Error == nil || resp.Results[1].Error.Code != "parse" {
+		t.Fatalf("mixed batch slot 1: %+v, want 400 parse error", resp.Results[1])
+	}
+
+	// A uniformly failing batch keeps its 4xx at the top level so naive
+	// clients still see the failure.
+	allBad := `{"requests": [{"sql": "SELEKT"}, {"sql": "SELECT nope FROM Nada"}]}`
+	w = httptest.NewRecorder()
+	s.handleCiteBatch(w, httptest.NewRequest(http.MethodPost, "/v1/cite/batch", strings.NewReader(allBad)))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("uniform-failure batch: status %d (%s)", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range resp.Results {
+		if res.Status != http.StatusBadRequest || res.Error == nil || res.Error.Code != "parse" {
+			t.Fatalf("uniform-failure slot %d: %+v, want 400 parse", i, res)
+		}
+	}
+}
+
+// decodeStream splits an NDJSON stream body into its tuple lines and the
+// trailer (which must be the final line).
+func decodeStream(t *testing.T, body string) ([]streamTuple, streamTrailer) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("empty stream body")
+	}
+	var last streamTrailerLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("trailer line %q: %v", lines[len(lines)-1], err)
+	}
+	tuples := make([]streamTuple, len(lines)-1)
+	for i, line := range lines[:len(lines)-1] {
+		if err := json.Unmarshal([]byte(line), &tuples[i]); err != nil {
+			t.Fatalf("tuple line %d %q: %v", i, line, err)
+		}
+	}
+	return tuples, last.Trailer
+}
+
+// TestHandleCiteStream checks /v1/cite/stream against /v1/cite: same tuples
+// in the same order, same polynomials, per-tuple citations present, and a
+// trailer carrying the count.
+func TestHandleCiteStream(t *testing.T) {
+	s := testServer(t)
+	body := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+
+	single := httptest.NewRecorder()
+	s.handleCite(single, httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(body)))
+	var want citeResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	w := httptest.NewRecorder()
+	s.handleCiteStream(w, httptest.NewRequest(http.MethodPost, "/v1/cite/stream", strings.NewReader(body)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	tuples, trailer := decodeStream(t, w.Body.String())
+	if trailer.Tuples != len(want.Rows) || trailer.Error != nil {
+		t.Fatalf("trailer %+v, want %d tuples and no error", trailer, len(want.Rows))
+	}
+	if len(tuples) != len(want.Rows) {
+		t.Fatalf("streamed %d tuples, want %d", len(tuples), len(want.Rows))
+	}
+	for i, tu := range tuples {
+		if tu.Index != i {
+			t.Fatalf("line %d carries index %d", i, tu.Index)
+		}
+		if got, exp := strings.Join(tu.Values, "|"), strings.Join(want.Rows[i], "|"); got != exp {
+			t.Fatalf("tuple %d values %q, want %q", i, got, exp)
+		}
+		if tu.Polynomial != want.Polynomials[i] {
+			t.Fatalf("tuple %d polynomial %q, want %q", i, tu.Polynomial, want.Polynomials[i])
+		}
+		if len(tu.Citation) == 0 || !json.Valid(tu.Citation) {
+			t.Fatalf("tuple %d citation not valid JSON: %s", i, tu.Citation)
+		}
+	}
+}
+
+// TestHandleCiteStreamErrors: failures before the first tuple line fall back
+// to the plain typed-error envelope with its real HTTP status.
+func TestHandleCiteStreamErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body     string
+		want     int
+		wantCode string
+	}{
+		{`not json`, http.StatusBadRequest, "parse"},
+		{`{"sql": "SELEKT"}`, http.StatusBadRequest, "parse"},
+		{`{"sql": "SELECT FName FROM Family", "max_tuples": 1}`, http.StatusUnprocessableEntity, "limit"},
+	}
+	for _, tc := range cases {
+		w := httptest.NewRecorder()
+		s.handleCiteStream(w, httptest.NewRequest(http.MethodPost, "/v1/cite/stream", strings.NewReader(tc.body)))
+		if w.Code != tc.want {
+			t.Fatalf("%q: status %d, want %d (%s)", tc.body, w.Code, tc.want, w.Body.String())
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%q: envelope unmarshal: %v (%s)", tc.body, err, w.Body.String())
+		}
+		if env.Error.Code != tc.wantCode {
+			t.Fatalf("%q: error code %q, want %q", tc.body, env.Error.Code, tc.wantCode)
+		}
+	}
+}
+
+// hookedServer builds a server over a tiny single-view instance R(A,B) whose
+// token renders run hook — the lever that makes "evaluation still running"
+// observable to the streaming tests. Every output tuple of Q(A, B) carries
+// its own λA token, so tokens render one per tuple, lazily.
+func hookedServer(t *testing.T, rows int, hook func()) *server {
+	t.Helper()
+	sch := storage.NewSchema()
+	sch.MustAddRelation(&storage.RelSchema{Name: "R", Cols: []storage.Column{{Name: "A"}, {Name: "B"}}})
+	db := storage.NewDB(sch)
+	for i := 0; i < rows; i++ {
+		db.MustInsert("R", fmt.Sprintf("a%04d", i), "c")
+	}
+	parse := func(src string) *cq.Query {
+		q, err := datalog.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return q
+	}
+	v, err := core.NewCitationView(parse(`λA. V(A, B) :- R(A, B)`), parse(`λA. C(A) :- R(A, B)`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Fn = func(rows []map[string]string) (*format.Object, error) {
+		if hook != nil {
+			hook()
+		}
+		return format.NewObject().Set("N", format.S(strconv.Itoa(len(rows)))), nil
+	}
+	citer, err := citare.New(db, []*citare.CitationView{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{citer: citare.NewCached(citer)}
+}
+
+// waitForGoroutines polls until the goroutine count returns to the baseline.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestHandleCiteStreamFirstTupleEarly proves delivery-before-completion
+// without wall-clock assumptions: every token render after the first blocks
+// on a gate, and the client still reads the complete first NDJSON line while
+// the remaining renders are provably not started.
+func TestHandleCiteStreamFirstTupleEarly(t *testing.T) {
+	const rows = 8
+	var renders atomic.Int64
+	gate := make(chan struct{})
+	s := hookedServer(t, rows, func() {
+		if renders.Add(1) > 1 {
+			<-gate
+		}
+	})
+	srv := httptest.NewServer(s.mux())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/cite/stream", "application/json",
+		strings.NewReader(`{"datalog": "Q(A, B) :- R(A, B)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	close(gate) // release the blocked renders before any Fatal below
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tu streamTuple
+	if err := json.Unmarshal([]byte(first), &tu); err != nil {
+		t.Fatalf("first line %q: %v", first, err)
+	}
+	if tu.Index != 0 || len(tu.Values) != 2 {
+		t.Fatalf("first line: %+v", tu)
+	}
+	// The first line arrived while at most the second render had started —
+	// the rest of the evaluation's render phase had not run.
+	if n := renders.Load(); n > 2 {
+		t.Fatalf("first line arrived after %d renders, want at most 2 of %d", n, rows)
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, trailer := decodeStream(t, first+string(rest))
+	if len(tuples) != rows || trailer.Tuples != rows || trailer.Error != nil {
+		t.Fatalf("stream completed with %d tuples, trailer %+v; want %d", len(tuples), trailer, rows)
+	}
+}
+
+// TestHandleCiteStreamClientDisconnect: a client that walks away mid-stream
+// cancels the evaluation; the handler and every eval goroutine exit.
+func TestHandleCiteStreamClientDisconnect(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := hookedServer(t, 400, nil)
+	srv := httptest.NewServer(s.mux())
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	resp, err := client.Post(srv.URL+"/v1/cite/stream", "application/json",
+		strings.NewReader(`{"datalog": "Q(A, B) :- R(A, B)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // disconnect mid-stream, hundreds of tuples unread
+	srv.Close()       // waits for the handler to notice and return
+	client.CloseIdleConnections()
+	waitForGoroutines(t, before)
 }
 
 // TestV1AndLegacyCiteAgree routes one request through /v1/cite and the

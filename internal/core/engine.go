@@ -324,30 +324,59 @@ func (e *Engine) baseSchema() *storage.Schema {
 	return e.db.Schema()
 }
 
-// materializeView evaluates the view definition into the state's execution
-// database once. The state lock serializes first-time materialization;
-// later readers see the filled relation without re-entering here (the flag
-// flips only after every tuple landed, and the lock's release/acquire pair
-// publishes the inserts). Cancellation is safe: the view evaluates fully
-// before the first insert, so a canceled request leaves the relation empty
-// and unflagged — the next request simply materializes it again.
-func (e *Engine) materializeView(ctx context.Context, st *engineState, v *CitationView) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.materialized[v.Name()] {
-		return nil
-	}
-	res, err := st.snap.eval(ctx, v.Def, e.evalOpts())
-	if err != nil {
-		return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
-	}
-	rel := viewRelPrefix + v.Name()
-	for _, t := range res.Tuples {
-		if err := st.execIns.Insert(rel, t...); err != nil {
-			return err
+// viewsUsed collects the distinct citation views the rewritings reference,
+// in first-use order, resolving each against the engine's registry.
+func (e *Engine) viewsUsed(rewritings []*rewrite.Rewriting) ([]*CitationView, error) {
+	var out []*CitationView
+	seen := make(map[string]bool)
+	for _, r := range rewritings {
+		for _, va := range r.ViewAtoms {
+			if seen[va.View.Name] {
+				continue
+			}
+			seen[va.View.Name] = true
+			v := e.byName[va.View.Name]
+			if v == nil {
+				return nil, fmt.Errorf("core: rewriting uses unknown view %s", va.View.Name)
+			}
+			out = append(out, v)
 		}
 	}
-	st.materialized[v.Name()] = true
+	return out, nil
+}
+
+// materializeViews evaluates every listed view definition into the state's
+// execution database, once per epoch, under a single acquisition of the
+// state lock — a cite call covering many rewritings that share views pays
+// one lock round instead of one per view atom per rewriting, and never
+// re-derives a view a sibling rewriting already filled. The flag for each
+// view flips only after every one of its tuples landed, and the lock's
+// release/acquire pair publishes the inserts to later readers. Cancellation
+// is safe: each view evaluates fully before its first insert, so a canceled
+// request leaves that relation empty and unflagged — the next request simply
+// materializes it again.
+func (e *Engine) materializeViews(ctx context.Context, st *engineState, views []*CitationView) error {
+	if len(views) == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, v := range views {
+		if st.materialized[v.Name()] {
+			continue
+		}
+		res, err := st.snap.eval(ctx, v.Def, e.evalOpts())
+		if err != nil {
+			return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
+		}
+		rel := viewRelPrefix + v.Name()
+		for _, t := range res.Tuples {
+			if err := st.execIns.Insert(rel, t...); err != nil {
+				return err
+			}
+		}
+		st.materialized[v.Name()] = true
+	}
 	return nil
 }
 
@@ -406,28 +435,34 @@ func (e *Engine) Cite(q *cq.Query) (*Result, error) {
 // request returns the context's error promptly instead of finishing the
 // citation nobody is waiting for.
 func (e *Engine) CiteCtx(ctx context.Context, q *cq.Query, o CiteOptions) (*Result, error) {
-	return e.cite(ctx, q, o, nil)
+	return e.cite(ctx, q, o)
 }
 
 // CiteEach is CiteCtx streaming: each output tuple's citation is handed to
-// fn (in the same deterministic tuple order Cite produces) instead of being
-// accumulated on the Result, and no aggregated result-set citation is
-// rendered. The returned Result carries the query, columns and rewritings
-// only — Tuples stays nil and Citation zero. The *TupleCitation passed to
-// fn is only valid during the call; fn returning an error aborts the
-// stream. Use it to page through very large result sets without holding
-// every rendered citation in memory at once.
+// fn (in the same deterministic tuple order Cite produces, byte-identical
+// content) instead of being accumulated on the Result, and no aggregated
+// result-set citation is rendered. The returned Result carries the query,
+// columns and rewritings only — Tuples stays nil and Citation zero. The
+// *TupleCitation passed to fn is only valid during the call; fn returning an
+// error aborts the stream. Use it to page through very large result sets
+// without holding every rendered citation in memory at once.
+//
+// Unlike CiteCtx, CiteEach runs the pull-iterator pipeline (citeStream):
+// output tuples stream off the evaluator with backpressure, rewriting
+// polynomials are gathered directly on slot frames, and each citation is
+// combined and rendered lazily, right before its delivery — the first tuple
+// reaches fn before any later tuple's citation has been rendered.
 func (e *Engine) CiteEach(ctx context.Context, q *cq.Query, o CiteOptions, fn func(*TupleCitation) error) (*Result, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("core: CiteEach requires a callback")
 	}
-	return e.cite(ctx, q, o, fn)
+	return e.citeStream(ctx, q, o, fn)
 }
 
-// cite is the shared citation pipeline behind CiteCtx and CiteEach: when
-// each is nil, tuples accumulate on the Result and are aggregated; when
-// non-nil, they stream through it.
-func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions, each func(*TupleCitation) error) (*Result, error) {
+// cite is the materialized citation pipeline behind Cite and CiteCtx;
+// citeStream is its pull-iterator twin behind CiteEach, property-tested
+// byte-identical.
+func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -443,14 +478,7 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions, each func
 	}
 	min, rewritings := cpq.min, cpq.rewritings
 
-	res := &Result{Query: min, Rewritings: rewritings}
-	for _, t := range min.Head {
-		if t.IsVar() {
-			res.Columns = append(res.Columns, t.Name)
-		} else {
-			res.Columns = append(res.Columns, t.Value)
-		}
-	}
+	res := &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
 
 	// Evaluate the query itself for the output tuples (independent of any
 	// rewriting, so even an un-rewritable query reports its answers). The
@@ -472,6 +500,15 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions, each func
 		order = append(order, k)
 	}
 
+	// Materialize every view any rewriting touches up front, in one batch.
+	views, err := e.viewsUsed(rewritings)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.materializeViews(ctx, st, views); err != nil {
+		return nil, err
+	}
+
 	for _, r := range rewritings {
 		polys, err := e.rewritingPolys(ctx, st, o, r)
 		if err != nil {
@@ -491,29 +528,32 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions, each func
 	// Combine and render in deterministic tuple order: Plan.Eval's contract
 	// sorts out.Tuples by key, so order — built in that sequence — is
 	// already sorted and the citation order matches the tuple order.
-	// Rendering is a per-tuple cancellation point.
+	// Rendering cancels per tuple and, inside a tuple, per token.
 	for _, k := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		tc := perTuple[k]
-		e.combineTuple(st, tc)
-		if each != nil {
-			// Release the entry before delivery so a streamed enumeration
-			// holds one combined+rendered citation at a time, not all of
-			// them — the point of CiteEach.
-			delete(perTuple, k)
-			if err := each(tc); err != nil {
-				return nil, err
-			}
-			continue
+		if err := e.combineTuple(ctx, st, tc); err != nil {
+			return nil, err
 		}
 		res.Tuples = append(res.Tuples, *tc)
 	}
-	if each == nil {
-		res.Citation = e.aggregate(res.Tuples)
-	}
+	res.Citation = e.aggregate(res.Tuples)
 	return res, nil
+}
+
+// headColumns labels the output columns of a query head.
+func headColumns(q *cq.Query) []string {
+	cols := make([]string, 0, len(q.Head))
+	for _, t := range q.Head {
+		if t.IsVar() {
+			cols = append(cols, t.Name)
+		} else {
+			cols = append(cols, t.Value)
+		}
+	}
+	return cols
 }
 
 // logicalPlan returns the query's engine-lifetime logical plan —
@@ -620,43 +660,54 @@ func (e *Engine) citeUnsat(q *cq.Query) (*Result, error) {
 	return res, nil
 }
 
-// rewritingPolys evaluates one rewriting over the execution database and
-// returns, per output-tuple key, the Σ-over-bindings polynomial of
-// Definition 3.2; each binding contributes the ·-product of its view tokens
-// (Definition 3.1) and, under Example 3.7's convention, C_R tokens for base
-// atoms.
-func (e *Engine) rewritingPolys(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
-	// Translate the rewriting into a CQ over the execution database.
+// viewAtomInfo pairs one view atom of a rewriting query with its resolved
+// citation view and the head positions its λ-parameters read from.
+type viewAtomInfo struct {
+	view     *CitationView
+	paramPos []int
+}
+
+// rewritingQuery translates one certified rewriting into a conjunctive query
+// over the execution database — view atoms become lookups on the
+// materialized __view_ relations, base atoms and residual comparisons carry
+// over — plus per-view-atom token metadata. The caller must have
+// materialized the referenced views (materializeViews).
+func (e *Engine) rewritingQuery(r *rewrite.Rewriting) (*cq.Query, []viewAtomInfo, error) {
 	q := &cq.Query{Name: "RW", Head: append([]cq.Term(nil), r.Head...)}
-	type viewAtomInfo struct {
-		view     *CitationView
-		paramPos []int
-		argBase  int // index of first arg term in the atom
-	}
 	var infos []viewAtomInfo
 	for _, va := range r.ViewAtoms {
 		v := e.byName[va.View.Name]
 		if v == nil {
-			return nil, fmt.Errorf("core: rewriting uses unknown view %s", va.View.Name)
-		}
-		if err := e.materializeView(ctx, st, v); err != nil {
-			return nil, err
+			return nil, nil, fmt.Errorf("core: rewriting uses unknown view %s", va.View.Name)
 		}
 		pos, err := v.Def.ParamPositions()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		q.Atoms = append(q.Atoms, cq.Atom{Pred: viewRelPrefix + v.Name(), Args: append([]cq.Term(nil), va.Args...)})
 		infos = append(infos, viewAtomInfo{view: v, paramPos: pos})
 	}
-	nViewAtoms := len(q.Atoms)
 	for _, a := range r.BaseAtoms {
 		q.Atoms = append(q.Atoms, a.Clone())
 	}
 	q.Comps = append(q.Comps, r.Comps...)
+	return q, infos, nil
+}
+
+// rewritingPolys evaluates one rewriting over the execution database and
+// returns, per output-tuple key, the Σ-over-bindings polynomial of
+// Definition 3.2; each binding contributes the ·-product of its view tokens
+// (Definition 3.1) and, under Example 3.7's convention, C_R tokens for base
+// atoms. The rewriting's views must already be materialized.
+func (e *Engine) rewritingPolys(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
+	q, infos, err := e.rewritingQuery(r)
+	if err != nil {
+		return nil, err
+	}
+	nViewAtoms := len(infos)
 
 	polys := make(map[string]provenance.Poly)
-	err := st.exec.evalBindings(ctx, q, e.requestOpts(o), func(b eval.Binding, matches []eval.Match) error {
+	err = st.exec.evalBindings(ctx, q, e.requestOpts(o), func(b eval.Binding, matches []eval.Match) error {
 		// Head tuple.
 		out := make(storage.Tuple, len(q.Head))
 		for i, t := range q.Head {
@@ -699,22 +750,30 @@ func (e *Engine) rewritingPolys(ctx context.Context, st *engineState, o CiteOpti
 	if err != nil {
 		return nil, err
 	}
-	if e.policy.IdempotentPlus || len(e.policy.Orders) > 0 {
-		for k, p := range polys {
-			if e.policy.IdempotentPlus {
-				p = p.Idempotent()
-			}
-			p = e.policy.Orders.NormalForm(p)
-			polys[k] = p
-		}
-	}
+	e.normalizePolys(polys)
 	return polys, nil
+}
+
+// normalizePolys applies the policy's +-idempotence and order normal form to
+// every per-tuple polynomial in place (a no-op under a free policy).
+func (e *Engine) normalizePolys(polys map[string]provenance.Poly) {
+	if !e.policy.IdempotentPlus && len(e.policy.Orders) == 0 {
+		return
+	}
+	for k, p := range polys {
+		if e.policy.IdempotentPlus {
+			p = p.Idempotent()
+		}
+		polys[k] = e.policy.Orders.NormalForm(p)
+	}
 }
 
 // combineTuple applies +R across the tuple's rewriting polynomials: order
 // pruning keeps the maximal operands (§3.4), which are then summed into the
 // combined polynomial and rendered under the policy's interpretations.
-func (e *Engine) combineTuple(st *engineState, tc *TupleCitation) {
+// Rendering honors ctx: a canceled request aborts between tokens instead of
+// rendering the rest of the tuple's citation.
+func (e *Engine) combineTuple(ctx context.Context, st *engineState, tc *TupleCitation) error {
 	ps := make([]provenance.Poly, len(tc.PerRewriting))
 	for i, rc := range tc.PerRewriting {
 		ps[i] = rc.Poly
@@ -729,47 +788,69 @@ func (e *Engine) combineTuple(st *engineState, tc *TupleCitation) {
 	}
 	combined = e.policy.Orders.NormalForm(combined)
 	tc.Combined = combined
-	tc.Rendered = e.renderTuple(st, tc)
+	rendered, err := e.renderTuple(ctx, st, tc)
+	if err != nil {
+		return err
+	}
+	tc.Rendered = rendered
+	return nil
 }
 
 // renderTuple renders a tuple's citation: per kept rewriting, monomials
 // render as ·-combinations of token citations and are +-combined; the kept
-// rewritings are +R-combined.
-func (e *Engine) renderTuple(st *engineState, tc *TupleCitation) format.Value {
+// rewritings are +R-combined. Cancellation fires between tokens.
+func (e *Engine) renderTuple(ctx context.Context, st *engineState, tc *TupleCitation) (format.Value, error) {
 	var perRewriting []format.Value
 	for _, i := range tc.Kept {
 		p := tc.PerRewriting[i].Poly
 		var monoVals []format.Value
 		for _, m := range p.Monomials() {
-			monoVals = append(monoVals, e.renderMonomial(st, m))
+			v, err := e.renderMonomial(ctx, st, m)
+			if err != nil {
+				return format.Value{}, err
+			}
+			monoVals = append(monoVals, v)
 		}
 		perRewriting = append(perRewriting, combine(e.policy.Plus, monoVals))
 	}
-	return combine(e.policy.PlusR, perRewriting)
+	return combine(e.policy.PlusR, perRewriting), nil
 }
 
 // renderMonomial renders the ·-combination of a monomial's token citations.
-func (e *Engine) renderMonomial(st *engineState, m provenance.Monomial) format.Value {
+func (e *Engine) renderMonomial(ctx context.Context, st *engineState, m provenance.Monomial) (format.Value, error) {
 	var vals []format.Value
 	for _, pt := range m.Support() {
-		obj := e.renderTokenCached(st, pt)
+		obj, err := e.renderTokenCached(ctx, st, pt)
+		if err != nil {
+			return format.Value{}, err
+		}
 		for i := 0; i < m.Exp(pt); i++ {
 			vals = append(vals, format.O(obj))
 			break // citations are set-like: exponents do not repeat records
 		}
 	}
-	return combine(e.policy.Times, vals)
+	return combine(e.policy.Times, vals), nil
 }
 
 // renderTokenCached renders a token through the sharded LRU. Keys carry the
 // state epoch so a Cite racing a Reset can never serve a rendering from a
 // different snapshot.
-func (e *Engine) renderTokenCached(st *engineState, pt provenance.Token) *format.Object {
+//
+// ctx gates entry per token: a canceled request stops before starting the
+// next token's rendering, so cancellation fires during the render phase of a
+// view-heavy citation, not just at eval frame boundaries. Each individual
+// token still renders to completion on a background context once started —
+// the result lands in the shared singleflight cache, and one caller's
+// cancellation must not poison the rendering its concurrent waiters share.
+func (e *Engine) renderTokenCached(ctx context.Context, st *engineState, pt provenance.Token) (*format.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := strconv.FormatUint(st.epoch, 10) + "|" + string(pt)
 	obj, _ := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
 		return e.renderToken(st, pt), nil
 	})
-	return obj
+	return obj, nil
 }
 
 func (e *Engine) renderToken(st *engineState, pt provenance.Token) *format.Object {

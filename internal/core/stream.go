@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"citare/internal/cq"
+	"citare/internal/eval"
+	"citare/internal/provenance"
+	"citare/internal/rewrite"
+	"citare/internal/storage"
+)
+
+// Streaming citation pipeline.
+//
+// citeStream is CiteEach's engine: the materialized cite pipeline recomposed
+// from pull iterators, so a very large result never sits in memory as a
+// gathered Result plus a full per-tuple citation list at once.
+//
+//   - Output evaluation streams distinct tuples off eval's TupleIterator
+//     (bounded channel, per-tuple backpressure, no eval.Result, no
+//     result-side dedup map) and gathers only the (key, tuple) pairs the
+//     deterministic order requires.
+//   - Rewriting gather consumes each rewriting query's FrameIterator
+//     directly on slot frames — no Binding map fills, no Match plumbing —
+//     accumulating per-tuple polynomials exactly as the materialized path
+//     does.
+//   - Combine + render run lazily, one tuple at a time, immediately before
+//     that tuple's delivery: the first citation reaches the caller before
+//     any later tuple's citation has been rendered, and each delivered
+//     entry is released before the next renders.
+//
+// Output is property-tested byte-identical — content and order — to the
+// materialized pipeline across all execution strategies.
+
+// citeStream is the pull-iterator citation pipeline behind CiteEach. Its
+// stages mirror cite() exactly; every divergence in combining order would
+// break the byte-parity contract, so the two share logicalPlan,
+// materializeViews, rewritingQuery, normalizePolys and combineTuple.
+func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, each func(*TupleCitation) error) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	cpq, err := e.logicalPlan(q, o)
+	if err != nil {
+		return nil, err
+	}
+	if !cpq.sat {
+		return e.citeUnsat(cpq.norm)
+	}
+	min, rewritings := cpq.min, cpq.rewritings
+	res := &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
+
+	st := e.curState()
+	outOpts := e.requestOpts(o)
+	outOpts.MaxTuples = o.MaxTuples
+
+	keys, perKey, err := e.streamOutput(ctx, st, min, outOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	views, err := e.viewsUsed(rewritings)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.materializeViews(ctx, st, views); err != nil {
+		return nil, err
+	}
+	for _, r := range rewritings {
+		if err := e.gatherRewriting(ctx, st, o, r, perKey); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deliver in the deterministic key order, releasing each entry before
+	// its combine+render so the stream holds one rendered citation at a
+	// time. Rendering cancels per tuple and, inside a tuple, per token.
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tc := perKey[k]
+		delete(perKey, k)
+		if err := e.combineTuple(ctx, st, tc); err != nil {
+			return nil, err
+		}
+		if err := each(tc); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// streamOutput streams the query's distinct output tuples and returns their
+// sorted keys plus the per-key citation skeletons. Only keys and tuples are
+// retained — no eval.Result, no dedup map (the iterator dedups on the
+// producer side).
+func (e *Engine) streamOutput(ctx context.Context, st *engineState, q *cq.Query, opts eval.Options) ([]string, map[string]*TupleCitation, error) {
+	it, err := st.snap.tuples(ctx, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	var keys []string
+	var tuples []storage.Tuple
+	for it.Next() {
+		keys = append(keys, it.Key())
+		tuples = append(tuples, it.Tuple())
+	}
+	if err := it.Err(); err != nil {
+		return nil, nil, err
+	}
+	eval.SortTuplesByKey(keys, tuples)
+	perKey := make(map[string]*TupleCitation, len(keys))
+	for i, k := range keys {
+		perKey[k] = &TupleCitation{Tuple: tuples[i]}
+	}
+	return keys, perKey, nil
+}
+
+// frameSrc reads one value off a slot frame: a slot index, or a constant
+// when slot < 0. The core-side twin of eval's value sources, resolved once
+// per rewriting against Plan.Vars.
+type frameSrc struct {
+	slot  int
+	konst string
+}
+
+func (s frameSrc) value(frame []string) string {
+	if s.slot < 0 {
+		return s.konst
+	}
+	return frame[s.slot]
+}
+
+// gatherRewriting evaluates one rewriting through the frame iterator and
+// merges its Σ-over-bindings polynomials (Definition 3.2) into the matching
+// per-key citations. Head values and view λ-parameters resolve to frame
+// slots once up front, so each binding costs slot reads rather than a
+// Binding map fill. The rewriting's views must already be materialized.
+func (e *Engine) gatherRewriting(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting, perKey map[string]*TupleCitation) error {
+	q, infos, err := e.rewritingQuery(r)
+	if err != nil {
+		return err
+	}
+	it, pl, err := st.exec.frames(ctx, q, e.requestOpts(o))
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+
+	vars := pl.Vars()
+	slotOf := make(map[string]int, len(vars))
+	for i, v := range vars {
+		slotOf[v] = i
+	}
+	src := func(t cq.Term) (frameSrc, error) {
+		if t.IsConst {
+			return frameSrc{slot: -1, konst: t.Value}, nil
+		}
+		s, ok := slotOf[t.Name]
+		if !ok {
+			return frameSrc{}, fmt.Errorf("core: rewriting variable %s unbound in plan", t.Name)
+		}
+		return frameSrc{slot: s}, nil
+	}
+	headSrc := make([]frameSrc, len(q.Head))
+	for i, t := range q.Head {
+		if headSrc[i], err = src(t); err != nil {
+			return err
+		}
+	}
+	paramSrc := make([][]frameSrc, len(infos))
+	for ai, info := range infos {
+		paramSrc[ai] = make([]frameSrc, len(info.paramPos))
+		for pi, hp := range info.paramPos {
+			if paramSrc[ai][pi], err = src(q.Atoms[ai].Args[hp]); err != nil {
+				return err
+			}
+		}
+	}
+	// Base-atom C_R tokens are binding-independent: encode them once.
+	var baseToks []provenance.Token
+	if e.policy.IncludeBaseTokens {
+		for _, a := range q.Atoms[len(infos):] {
+			baseToks = append(baseToks, NewRelToken(a.Pred).Encode())
+		}
+	}
+
+	polys := make(map[string]provenance.Poly)
+	var keyBuf []byte
+	toks := make([]provenance.Token, 0, len(infos)+len(baseToks))
+	params := make([]string, 0, 4)
+	for it.Next() {
+		f := it.Frame()
+		// Head-tuple key in the collision-free length-prefixed encoding of
+		// storage.Tuple.Key, probed without allocating on repeats.
+		keyBuf = keyBuf[:0]
+		for _, s := range headSrc {
+			v := s.value(f)
+			keyBuf = strconv.AppendInt(keyBuf, int64(len(v)), 10)
+			keyBuf = append(keyBuf, ':')
+			keyBuf = append(keyBuf, v...)
+		}
+		// Monomial: one view token per view atom (parameter values read off
+		// the frame), plus the C_R tokens.
+		toks = toks[:0]
+		for ai, info := range infos {
+			params = params[:0]
+			for _, s := range paramSrc[ai] {
+				params = append(params, s.value(f))
+			}
+			toks = append(toks, NewViewToken(info.view.Name(), params...).Encode())
+		}
+		toks = append(toks, baseToks...)
+		m := provenance.NewMonomial(toks...)
+		p, ok := polys[string(keyBuf)] // no-alloc map probe
+		if !ok {
+			k := string(keyBuf)
+			if perKey[k] == nil {
+				// A certified rewriting cannot produce extra tuples; guard
+				// anyway to surface bugs instead of silently diverging.
+				return fmt.Errorf("core: rewriting %s produced tuple outside the query result", r)
+			}
+			p = provenance.NewPoly()
+			polys[k] = p
+		}
+		p.Add(m, 1) // mutates the polynomial shared with the map entry
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	e.normalizePolys(polys)
+	for k, p := range polys {
+		tc := perKey[k]
+		tc.PerRewriting = append(tc.PerRewriting, RewritingCitation{Rewriting: r, Poly: p})
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package eval_test
+
+// Pull-iterator execution mode: frame/tuple streams must carry exactly the
+// push enumeration's multiset in every strategy, enforce MaxTuples, survive
+// early Close without leaking the producer, and propagate cancellation.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"citare/internal/eval"
+	"citare/internal/storage"
+	"citare/internal/workload"
+)
+
+// frameKey canonically encodes one valuation for multiset comparison.
+func frameKey(vars, frame []string) string {
+	key := ""
+	for i, v := range vars {
+		key += fmt.Sprintf("%s=%q;", v, frame[i])
+	}
+	return key
+}
+
+// TestFramesMatchEvalBindings: in every strategy, the frame iterator yields
+// exactly the push enumeration's valuation multiset.
+func TestFramesMatchEvalBindings(t *testing.T) {
+	q := workload.ChainQuery(3)
+	for _, st := range cancelStrategies(t) {
+		t.Run(st.name, func(t *testing.T) {
+			plan, err := eval.Compile(st.view, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vars := plan.Vars()
+			want := make(map[string]int)
+			if err := plan.EvalBindings(st.opts, func(b eval.Binding, _ []eval.Match) error {
+				frame := make([]string, len(vars))
+				for i, v := range vars {
+					frame[i] = b[v]
+				}
+				want[frameKey(vars, frame)]++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			got := make(map[string]int)
+			it := plan.Frames(context.Background(), st.opts)
+			defer it.Close()
+			for it.Next() {
+				got[frameKey(vars, it.Frame())]++
+			}
+			if err := it.Err(); err != nil {
+				t.Fatalf("iterator failed: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("distinct frames: got %d, want %d", len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("frame %s: got %d, want %d", k, got[k], n)
+				}
+			}
+		})
+	}
+}
+
+// TestTuplesMatchEval: the distinct-tuple stream, gathered and sorted by its
+// keys, is byte-identical to the materialized EvalCtx result in every
+// strategy.
+func TestTuplesMatchEval(t *testing.T) {
+	q := workload.ChainQuery(3)
+	for _, st := range cancelStrategies(t) {
+		t.Run(st.name, func(t *testing.T) {
+			plan, err := eval.Compile(st.view, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plan.EvalCtx(context.Background(), st.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			it := plan.Tuples(context.Background(), st.opts)
+			defer it.Close()
+			var keys []string
+			var tuples []storage.Tuple
+			seen := make(map[string]bool)
+			for it.Next() {
+				k := it.Key()
+				if seen[k] {
+					t.Fatalf("duplicate tuple key %q in distinct stream", k)
+				}
+				seen[k] = true
+				keys = append(keys, k)
+				tuples = append(tuples, it.Tuple())
+			}
+			if err := it.Err(); err != nil {
+				t.Fatalf("iterator failed: %v", err)
+			}
+			eval.SortTuplesByKey(keys, tuples)
+			if len(tuples) != len(want.Tuples) {
+				t.Fatalf("tuples: got %d, want %d", len(tuples), len(want.Tuples))
+			}
+			for i, tu := range tuples {
+				if tu.Key() != want.Tuples[i].Key() {
+					t.Fatalf("tuple %d: got %v, want %v", i, tu, want.Tuples[i])
+				}
+				if keys[i] != want.Tuples[i].Key() {
+					t.Fatalf("key %d: iterator key %q != Tuple.Key %q", i, keys[i], want.Tuples[i].Key())
+				}
+			}
+		})
+	}
+}
+
+// TestTuplesMaxTuples: the streamed set-semantics evaluation enforces
+// MaxTuples with the same ErrTupleLimit as the materialized path.
+func TestTuplesMaxTuples(t *testing.T) {
+	db := workload.ChainDB(3, 600, 64, 7)
+	plan, err := eval.Compile(eval.DBViewOf(db), workload.ChainQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := plan.Tuples(context.Background(), eval.Options{Parallel: 1, MaxTuples: 5})
+	defer it.Close()
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); !errors.Is(err, eval.ErrTupleLimit) {
+		t.Fatalf("err = %v, want ErrTupleLimit", err)
+	}
+	if n > 5 {
+		t.Fatalf("streamed %d tuples past the bound of 5", n)
+	}
+}
+
+// TestFrameIteratorEarlyClose: abandoning the stream after one frame stops
+// the producer promptly in every strategy, with no leaked goroutines.
+func TestFrameIteratorEarlyClose(t *testing.T) {
+	q := workload.ChainQuery(3)
+	for _, st := range cancelStrategies(t) {
+		t.Run(st.name, func(t *testing.T) {
+			plan, err := eval.Compile(st.view, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := runtime.NumGoroutine()
+			it := plan.Frames(context.Background(), st.opts)
+			if !it.Next() {
+				t.Fatalf("no frames: %v", it.Err())
+			}
+			it.Close()
+			if it.Next() {
+				t.Fatal("Next returned true after Close")
+			}
+			if err := it.Err(); err != nil {
+				t.Fatalf("Err after early Close = %v, want nil", err)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestFrameIteratorCancel: canceling the stream's context mid-iteration
+// surfaces context.Canceled through Err and releases the producer.
+func TestFrameIteratorCancel(t *testing.T) {
+	q := workload.ChainQuery(3)
+	for _, st := range cancelStrategies(t) {
+		t.Run(st.name, func(t *testing.T) {
+			plan, err := eval.Compile(st.view, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			it := plan.Frames(ctx, st.opts)
+			defer it.Close()
+			n := 0
+			for it.Next() {
+				if n++; n == 1 {
+					cancel()
+				}
+			}
+			if err := it.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			it.Close()
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestTuplesStreamOrderSequential: under sequential execution the distinct
+// stream arrives in first-occurrence enumeration order (a stable order the
+// gather sort then refines), and re-running is deterministic.
+func TestTuplesStreamOrderSequential(t *testing.T) {
+	db := workload.ChainDB(3, 200, 32, 11)
+	plan, err := eval.Compile(eval.DBViewOf(db), workload.ChainQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []string {
+		it := plan.Tuples(context.Background(), eval.Options{Parallel: 1})
+		defer it.Close()
+		var keys []string
+		for it.Next() {
+			keys = append(keys, it.Key())
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !sort.StringsAreSorted(a) {
+		// Enumeration order need not be sorted; determinism is the contract.
+		t.Log("stream order is enumeration order, not key order (expected)")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic stream length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic sequential stream at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package citare
+
+// Streaming-vs-materialized byte-parity property test at the facade level:
+// for every query of the gtopdb and advisor workloads, the tuples streamed
+// by CiteEach must be byte-identical — values, polynomials, rendered
+// citation records, order, and count — to the materialized Cite result, for
+// every execution strategy (sequential, parallel, adaptive, scatter-gather)
+// and across shard counts.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"citare/internal/gtopdb"
+)
+
+func TestCiteEachMatchesCiteAllStrategies(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	newUnsharded := func(par int) *Citer {
+		c, err := NewFromProgram(db, gtopdb.ViewsProgram,
+			WithNeutralCitation(gtopdb.DatabaseCitation()), WithParallelEval(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cfgs := []struct {
+		name  string
+		citer *Citer
+	}{
+		{"sequential", newUnsharded(1)},
+		{"parallel-2", newUnsharded(2)},
+		{"parallel-4", newUnsharded(4)},
+		{"adaptive", newUnsharded(0)},
+		{"scatter-2", shardedPaperCiter(t, db, 2)},
+		{"scatter-3", shardedPaperCiter(t, db, 3)},
+		{"scatter-5", shardedPaperCiter(t, db, 5)},
+	}
+	workloads := []struct {
+		name    string
+		queries []mixedQuery
+	}{
+		{"gtopdb", gtopdbWorkload()},
+		{"advisor", advisorWorkload()},
+	}
+	for _, cfg := range cfgs {
+		for _, wl := range workloads {
+			for qi, mq := range wl.queries {
+				t.Run(fmt.Sprintf("%s/%s/q%d", cfg.name, wl.name, qi), func(t *testing.T) {
+					req := Request{}
+					if mq.sql {
+						req.SQL = mq.src
+					} else {
+						req.Datalog = mq.src
+					}
+					want, err := cfg.citer.Cite(context.Background(), req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rows := want.Rows()
+					i := 0
+					err = cfg.citer.CiteEach(context.Background(), req, func(tu Tuple) error {
+						if i >= len(rows) {
+							return fmt.Errorf("streamed extra tuple %v", tu.Values)
+						}
+						if tu.Index != i {
+							return fmt.Errorf("tuple %d streamed with index %d", i, tu.Index)
+						}
+						if got, exp := strings.Join(tu.Values, "\x00"), strings.Join(rows[i], "\x00"); got != exp {
+							return fmt.Errorf("tuple %d values %q, want %q", i, tu.Values, rows[i])
+						}
+						wantPoly, err := want.TuplePolynomialAt(i)
+						if err != nil {
+							return err
+						}
+						if tu.Polynomial != wantPoly {
+							return fmt.Errorf("tuple %d polynomial:\n got %s\nwant %s", i, tu.Polynomial, wantPoly)
+						}
+						wantJSON, err := want.TupleCitationJSONAt(i)
+						if err != nil {
+							return err
+						}
+						if tu.CitationJSON != wantJSON {
+							return fmt.Errorf("tuple %d citation:\n got %s\nwant %s", i, tu.CitationJSON, wantJSON)
+						}
+						i++
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if i != len(rows) {
+						t.Fatalf("streamed %d tuples, want %d", i, len(rows))
+					}
+				})
+			}
+		}
+	}
+}
