@@ -50,6 +50,12 @@ func (c *CachedCiter) Citer() *Citer { return c.citer }
 // to the computation on a miss; cancellation surfaces as ErrCanceled and is
 // never cached.
 func (c *CachedCiter) Cite(ctx context.Context, req Request) (*Citation, error) {
+	if req.Explain {
+		// Explain is a debugging tool: it wants the real pipeline trace, and
+		// a cached Citation carries no trace. Bypass the cache entirely —
+		// the citation content is identical either way (Explain parity).
+		return c.citer.Cite(ctx, req)
+	}
 	q, err := req.parse(c.citer.schema)
 	if err != nil {
 		return nil, err
@@ -78,7 +84,7 @@ func (c *CachedCiter) Cite(ctx context.Context, req Request) (*Citation, error) 
 	}
 	var ct *Citation
 	for attempt := 0; ; attempt++ {
-		ct, err = c.entries.GetOrCompute(key, compute)
+		ct, _, err = c.entries.GetOrCompute(key, compute)
 		// Concurrent misses share one computation, which runs under the
 		// *leader's* context: if the leader's client went away, every waiter
 		// inherits its cancellation. A waiter whose own context is still

@@ -276,7 +276,15 @@ type Citation struct {
 	res *core.Result
 	// format is the request's render format, used by Rendered.
 	format string
+	// explain is the per-stage trace report, set only when the request
+	// asked for one (Request.Explain).
+	explain *Explain
 }
+
+// Explain returns the request's per-stage trace report, or nil unless the
+// request set Request.Explain. The report never changes the citation
+// itself: output is byte-identical with Explain on or off.
+func (ct *Citation) Explain() *Explain { return ct.explain }
 
 // Columns returns the output column labels.
 func (ct *Citation) Columns() []string { return ct.res.Columns }

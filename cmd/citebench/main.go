@@ -12,7 +12,7 @@
 // gate:
 //
 //	citebench -regress BENCH_2.json,BENCH_3.json        # warn on >1.5× allocs/op
-//	citebench -regress BENCH_3.json,BENCH_5.json,BENCH_6.json
+//	citebench -regress BENCH_3.json,BENCH_5.json,BENCH_6.json,BENCH_7.json
 //	citebench -strict -regress OLD,...,NEW              # exit 1 on regression
 //
 // The allocs/op comparison is deterministic across machines; ns/op is
@@ -36,6 +36,7 @@ import (
 	"citare/internal/datalog"
 	"citare/internal/eval"
 	"citare/internal/gtopdb"
+	"citare/internal/obs"
 	"citare/internal/rewrite"
 	"citare/internal/shard"
 	"citare/internal/storage"
@@ -45,7 +46,7 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B18)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B19)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
 	regress := flag.String("regress", "", "compare committed bench JSON files OLD,...,NEW pairwise and report allocs/op regressions")
 	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
@@ -95,6 +96,7 @@ func main() {
 		{"B16", "scatter-gather join throughput", runB16},
 		{"B17", "batch throughput: CiteBatch vs independent Cite", runB17},
 		{"B18", "streamed vs materialized join: bytes/op and allocs/op", runB18},
+		{"B19", "instrumentation overhead: disabled vs metrics vs explain", runB19},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -700,6 +702,67 @@ func runB18() error {
 	return nil
 }
 
+// runB19 measures instrumentation overhead on the cite hot path: the same
+// point-lookup citation with observability disabled (no metrics, no
+// trace — the production default), with the engine's pipeline metrics
+// attached, and with a full per-stage Explain trace. The disabled and
+// metered paths ride atomic counters and nil-check short-circuits, so
+// neither may allocate beyond the uninstrumented engine; only Explain is
+// allowed to pay for its span tree.
+func runB19() error {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 500
+	gdb := gtopdb.Generate(cfg)
+	const pointQ = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = "250"`
+	newCiter := func() (*citare.Citer, error) {
+		c, err := citare.NewFromProgram(gdb, gtopdb.ViewsProgram)
+		if err != nil {
+			return nil, err
+		}
+		_, err = c.CiteDatalog(pointQ) // materialize views: steady state
+		return c, err
+	}
+	disabled, err := newCiter()
+	if err != nil {
+		return err
+	}
+	metered, err := newCiter()
+	if err != nil {
+		return err
+	}
+	metered.Engine().SetMetrics(obs.NewPipelineMetrics(obs.NewRegistry()))
+	bench := func(c *citare.Citer, req citare.Request) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Cite(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	plainReq := citare.Request{Datalog: pointQ}
+	off := bench(disabled, plainReq)
+	on := bench(metered, plainReq)
+	explained := bench(metered, citare.Request{Datalog: pointQ, Explain: true})
+	fmt.Println("   | instrumentation       |    ns/op | allocs/op |")
+	fmt.Println("   |-----------------------|---------:|----------:|")
+	for _, row := range []struct {
+		name string
+		r    testing.BenchmarkResult
+	}{{"disabled", off}, {"metrics", on}, {"metrics+explain", explained}} {
+		fmt.Printf("   | %-21s | %8.0f | %9d |\n", row.name,
+			float64(row.r.T.Nanoseconds())/float64(row.r.N), row.r.AllocsPerOp())
+	}
+	// Metrics ride atomics and pre-registered histograms: the delta over
+	// the disabled path must be noise, not structure.
+	if delta := on.AllocsPerOp() - off.AllocsPerOp(); delta > 4 {
+		return fmt.Errorf("metrics add %d allocs/op over the disabled path, want ~0", delta)
+	}
+	fmt.Printf("   explain overhead: %+d allocs/op over disabled (span tree, report not built)\n",
+		explained.AllocsPerOp()-off.AllocsPerOp())
+	return nil
+}
+
 // allocRegressionTolerance is the allocs/op ratio (new/old) above which a
 // benchmark counts as regressed. Generous on purpose: allocation counts are
 // deterministic but small suites jitter a little with map layouts and LRU
@@ -838,6 +901,17 @@ func writeBenchJSON(path string) error {
 	if _, err := shardedCiter.CiteDatalog(pointQ); err != nil {
 		return err
 	}
+	// A separate instrumented citer so `citer` stays uninstrumented for
+	// every other entry; `obs/cite-disabled` vs `obs/cite-metrics` is the
+	// regression-gated instrumentation-overhead pair (B19).
+	obsCiter, err := citare.NewFromProgram(gdb, gtopdb.ViewsProgram)
+	if err != nil {
+		return err
+	}
+	if _, err := obsCiter.CiteDatalog(pointQ); err != nil {
+		return err
+	}
+	obsCiter.Engine().SetMetrics(obs.NewPipelineMetrics(obs.NewRegistry()))
 
 	mustCite := func(b *testing.B, c *citare.Citer, q string) {
 		if _, err := c.CiteDatalog(q); err != nil {
@@ -968,6 +1042,40 @@ func writeBenchJSON(path string) error {
 				if _, err := citer.CiteBatch(context.Background(), reqs); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"obs/cite-disabled/families=500", func(b *testing.B) { // B19 baseline
+			req := citare.Request{Datalog: pointQ}
+			for i := 0; i < b.N; i++ {
+				if _, err := citer.Cite(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"obs/cite-metrics/families=500", func(b *testing.B) { // B19
+			req := citare.Request{Datalog: pointQ}
+			for i := 0; i < b.N; i++ {
+				if _, err := obsCiter.Cite(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"obs/cite-explain/families=500", func(b *testing.B) { // B19
+			req := citare.Request{Datalog: pointQ, Explain: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := obsCiter.Cite(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"obs/registry-hot-path", func(b *testing.B) { // B19: zero-alloc instruments
+			reg := obs.NewRegistry()
+			c := reg.Counter("bench_ops_total", "Bench counter.")
+			h := reg.Histogram("bench_latency_seconds", "Bench histogram.", obs.DefLatencyBuckets)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i))
 			}
 		}},
 	}

@@ -8,7 +8,10 @@
 //	POST /v1/cite/batch    → a batch of citations, plan-shared
 //	POST /cite             → deprecated shim for /v1/cite (same schema)
 //	GET  /views            → the citation views
-//	GET  /stats            → cache + shard stats
+//	GET  /stats            → cache, plan-cache + shard stats, uptime
+//	GET  /metrics          → Prometheus text exposition (0.0.4)
+//	GET  /v1/slow          → slow-query ring buffer, newest first
+//	GET  /debug/pprof/*    → runtime profiling
 //	GET  /healthz          → ok
 //
 // # v1 wire schema
@@ -22,7 +25,8 @@
 //	  "format":         "json",   // json | json-compact | xml | bibtex | text
 //	  "parallel":       0,        // 1 = sequential, n > 1 caps the workers
 //	  "max_rewritings": 0,        // bound rewriting enumeration
-//	  "max_tuples":     0         // bound the answer size; beyond it → 422
+//	  "max_tuples":     0,        // bound the answer size; beyond it → 422
+//	  "explain":        false     // attach a per-stage pipeline trace
 //	}
 //
 // A successful response:
@@ -33,8 +37,16 @@
 //	  "rewritings":  ["Q(N) :- V1(F; F, N), ...", ...],
 //	  "polynomials": ["CV1(\"11\")·CV2(\"11\") + ...", ...],
 //	  "citation":    "{...}",   // rendered in the requested format
-//	  "format":      "json"
+//	  "format":      "json",
+//	  "explain":     {"stages": [...]}  // only when the request set explain
 //	}
+//
+// With "explain": true the response carries the request's per-stage
+// pipeline trace (parse → rewrite → compile → views → eval → gather →
+// render, with durations, tuple/frame counts, cache outcomes, the strategy
+// chosen and per-shard timings). The trace never changes the citation —
+// explained and plain responses carry byte-identical citations — but an
+// explained request bypasses the citation cache to produce a real trace.
 //
 // # Streaming: /v1/cite/stream
 //
@@ -49,10 +61,14 @@
 //	{"index": 0, "values": ["adenosine receptors"],
 //	 "polynomial": "CV1(\"11\")·CV2(\"11\")", "citation": {...}}
 //	{"index": 1, ...}
-//	{"trailer": {"tuples": 2}}
+//	{"trailer": {"tuples": 2, "stage_ns": {"rewrite": 52000, "eval": 410000, ...}}}
 //
 //	{"index": 0, ...}
 //	{"trailer": {"tuples": 1, "error": {"code": "canceled", "message": "..."}}}
+//
+// The trailer's stage_ns object totals the pipeline's per-stage wall-clock
+// time in nanoseconds (same stage names as the materialized endpoint's
+// explain report), so streaming clients get the same visibility.
 //
 // A request that fails before the first tuple is written — parse error,
 // unsatisfiable bound, pre-stream cancellation — gets the plain typed error
@@ -104,6 +120,30 @@
 // -shards N > 1 the database is hash-partitioned and every request routes
 // through the sharded engine (scatter-gather evaluation with shard
 // pruning); citations are byte-identical to the unsharded engine's.
+//
+// # Observability
+//
+// Every request gets a process-unique ID, echoed in the X-Request-ID
+// response header, in the request_id field of error envelopes, and in the
+// structured access log (one line per request: ID, method, route, status,
+// duration, tuples emitted; -quiet suppresses it).
+//
+// GET /metrics serves the Prometheus text format: cite latency and
+// per-stage histograms (citare_cite_duration_seconds,
+// citare_stage_duration_seconds{stage=...}), cite/tuple/error counters,
+// result- and token-cache counters, plan-cache counters by tier
+// (citare_plan_cache_{hits,misses}_total{tier="logical"|"physical"}),
+// per-shard scan/lookup counts on sharded deployments, HTTP request
+// counters and latencies by route, and uptime.
+//
+// GET /v1/slow serves a fixed-capacity ring of the most recent requests
+// slower than -slow-threshold, newest first, each carrying its full
+// per-stage pipeline trace — the workflow is: watch /metrics for a latency
+// regression, pull /v1/slow to see which stage (and which shard) the slow
+// requests spent their time in. -slow-capacity bounds the ring;
+// -slow-threshold 0 disables capture.
+//
+// GET /debug/pprof/ exposes the standard runtime profiles.
 package main
 
 import (
@@ -114,11 +154,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"citare"
 	"citare/internal/gtopdb"
+	"citare/internal/obs"
 	"citare/internal/shard"
 	"citare/internal/storage"
 )
@@ -132,6 +175,14 @@ type server struct {
 	viewsProgram string
 	shards       int           // engine shard count (1 = unsharded)
 	timeout      time.Duration // per-request deadline (0 = none)
+
+	// Observability (all optional: a zero server serves without them).
+	start    time.Time     // for /stats uptime and the uptime gauge
+	quiet    bool          // -quiet: suppress the access log
+	reg      *obs.Registry // /metrics registry; nil = not initialized
+	slow     *slowLog      // /v1/slow ring; nil = capture disabled
+	idPrefix string        // per-process request-ID prefix
+	reqSeq   atomic.Uint64 // request-ID sequence
 }
 
 // citeRequest is the v1 wire form of one citation request (the legacy
@@ -144,6 +195,7 @@ type citeRequest struct {
 	Parallel      int    `json:"parallel,omitempty"`
 	MaxRewritings int    `json:"max_rewritings,omitempty"`
 	MaxTuples     int    `json:"max_tuples,omitempty"`
+	Explain       bool   `json:"explain,omitempty"`
 }
 
 // request translates the wire form to the library's Request.
@@ -155,16 +207,26 @@ func (r citeRequest) request() citare.Request {
 		Parallel:      r.Parallel,
 		MaxRewritings: r.MaxRewritings,
 		MaxTuples:     r.MaxTuples,
+		Explain:       r.Explain,
 	}
 }
 
+// queryText returns the request's query source, whichever field holds it.
+func (r citeRequest) queryText() string {
+	if r.SQL != "" {
+		return r.SQL
+	}
+	return r.Datalog
+}
+
 type citeResponse struct {
-	Columns     []string   `json:"columns"`
-	Rows        [][]string `json:"rows"`
-	Rewritings  []string   `json:"rewritings"`
-	Polynomials []string   `json:"polynomials"`
-	Citation    string     `json:"citation"`
-	Format      string     `json:"format"`
+	Columns     []string        `json:"columns"`
+	Rows        [][]string      `json:"rows"`
+	Rewritings  []string        `json:"rewritings"`
+	Polynomials []string        `json:"polynomials"`
+	Citation    string          `json:"citation"`
+	Format      string          `json:"format"`
+	Explain     *citare.Explain `json:"explain,omitempty"`
 }
 
 type batchRequest struct {
@@ -200,6 +262,10 @@ type streamTrailerLine struct {
 type streamTrailer struct {
 	// Tuples counts the tuple lines written before the trailer.
 	Tuples int `json:"tuples"`
+	// StageNs totals the pipeline's per-stage wall-clock time in
+	// nanoseconds (stage names match the Explain report), giving streaming
+	// clients the same visibility as the materialized path.
+	StageNs map[string]int64 `json:"stage_ns,omitempty"`
 	// Error reports a stream that died after tuples were already written;
 	// absent on a complete stream.
 	Error *errorBody `json:"error,omitempty"`
@@ -215,6 +281,9 @@ type errorBody struct {
 	Message string `json:"message"`
 	// Index names the first failing request of a batch; nil for /v1/cite.
 	Index *int `json:"index,omitempty"`
+	// RequestID echoes the request's X-Request-ID, correlating the error
+	// with the access log; empty outside the request middleware.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // classifyStatus maps a tagged citare error to its HTTP status and wire
@@ -236,11 +305,12 @@ func classifyStatus(err error) (int, string) {
 	return http.StatusInternalServerError, "internal"
 }
 
-// writeError emits the typed error envelope. index, when >= 0, names the
-// failing request of a batch.
-func writeError(w http.ResponseWriter, err error, index int) {
+// writeError emits the typed error envelope, echoing the request ID when
+// the middleware assigned one. index, when >= 0, names the failing request
+// of a batch.
+func writeError(w http.ResponseWriter, r *http.Request, err error, index int) {
 	status, code := classifyStatus(err)
-	body := errorBody{Code: code, Message: err.Error()}
+	body := errorBody{Code: code, Message: err.Error(), RequestID: requestID(r.Context())}
 	if index >= 0 {
 		body.Index = &index
 	}
@@ -292,20 +362,34 @@ func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
 	}
 	var req citeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
+		writeError(w, r, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ri := infoFrom(ctx)
+	ri.setQuery(req.queryText())
+	// Trace the pipeline when the client asked for an explain report or the
+	// slow-query log might want the trace; Cite reuses a trace already on
+	// the context.
+	if req.Explain || s.slow != nil {
+		tr := obs.NewTrace()
+		ctx = obs.NewContext(ctx, tr, obs.NoSpan)
+		ri.setTrace(tr)
+	}
 	res, err := s.citer.Cite(ctx, req.request())
 	if err != nil {
-		writeError(w, err, -1)
+		writeError(w, r, err, -1)
 		return
 	}
+	ri.setTuples(res.NumTuples())
 	resp, err := respond(res)
 	if err != nil {
-		writeError(w, err, -1)
+		writeError(w, r, err, -1)
 		return
+	}
+	if req.Explain {
+		resp.Explain = res.Explain()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -324,11 +408,18 @@ func (s *server) handleCiteStream(w http.ResponseWriter, r *http.Request) {
 	}
 	var req citeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
+		writeError(w, r, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ri := infoFrom(ctx)
+	ri.setQuery(req.queryText())
+	// Streams always carry a trace: the trailer reports per-stage timing
+	// totals so streaming clients get the same visibility as Explain.
+	tr := obs.NewTrace()
+	ctx = obs.NewContext(ctx, tr, obs.NoSpan)
+	ri.setTrace(tr)
 	// Header().Set sends nothing by itself: if the stream fails before the
 	// first tuple line, writeError below still replaces the Content-Type and
 	// picks the real status.
@@ -352,11 +443,12 @@ func (s *server) handleCiteStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
+	ri.setTuples(sent)
 	if err != nil && sent == 0 {
-		writeError(w, err, -1)
+		writeError(w, r, err, -1)
 		return
 	}
-	trailer := streamTrailer{Tuples: sent}
+	trailer := streamTrailer{Tuples: sent, StageNs: tr.Report().StageTotalsNs()}
 	if err != nil {
 		// The stream is already committed as 200 NDJSON; the trailer carries
 		// the typed error instead of a status line.
@@ -383,11 +475,11 @@ func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var breq batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
+		writeError(w, r, fmt.Errorf("%w: %v", citare.ErrParse, err), -1)
 		return
 	}
 	if len(breq.Requests) == 0 {
-		writeError(w, fmt.Errorf("%w: empty batch", citare.ErrParse), -1)
+		writeError(w, r, fmt.Errorf("%w: empty batch", citare.ErrParse), -1)
 		return
 	}
 	reqs := make([]citare.Request, len(breq.Requests))
@@ -396,6 +488,8 @@ func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ri := infoFrom(ctx)
+	ri.setQuery(fmt.Sprintf("batch of %d", len(reqs)))
 	items := s.citer.CiteBatchItems(ctx, reqs)
 	resp := batchResponse{Results: make([]batchItemResult, len(items))}
 	uniform := 0 // shared status of every slot so far; -1 once they diverge
@@ -404,6 +498,7 @@ func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
 		if itemErr == nil {
 			shaped, err := respond(item.Citation)
 			if err == nil {
+				ri.addTuples(item.Citation.NumTuples())
 				resp.Results[i] = batchItemResult{Status: http.StatusOK, Result: &shaped}
 				if uniform == 0 {
 					uniform = http.StatusOK
@@ -445,10 +540,21 @@ type shardStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// planCacheStats is one plan-cache tier's counters on /stats.
+type planCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
 type statsResponse struct {
-	shardStats                // aggregated totals across cache shards
-	CacheShards  []shardStats `json:"cache_shards"`
-	EngineShards int          `json:"engine_shards"`
+	shardStats                   // aggregated totals across cache shards
+	CacheShards   []shardStats   `json:"cache_shards"`
+	EngineShards  int            `json:"engine_shards"`
+	Waits         uint64         `json:"singleflight_waits"`
+	TokenCache    shardStats     `json:"token_cache"`
+	LogicalPlans  planCacheStats `json:"logical_plans"`
+	PhysicalPlans planCacheStats `json:"physical_plans"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -458,9 +564,18 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		shardStats:   shardStats{Hits: total.Hits, Misses: total.Misses, Evictions: total.Evictions},
 		CacheShards:  make([]shardStats, len(per)),
 		EngineShards: s.shards,
+		Waits:        total.Waits,
 	}
 	for i, st := range per {
 		resp.CacheShards[i] = shardStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions}
+	}
+	eng := s.citer.Citer().Engine()
+	tok := eng.TokenCacheStats()
+	resp.TokenCache = shardStats{Hits: tok.Hits, Misses: tok.Misses, Evictions: tok.Evictions}
+	resp.LogicalPlans.Hits, resp.LogicalPlans.Misses = eng.LogicalPlanStats()
+	resp.PhysicalPlans.Hits, resp.PhysicalPlans.Misses = eng.PhysicalPlanStats()
+	if !s.start.IsZero() {
+		resp.UptimeSeconds = time.Since(s.start).Seconds()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -468,9 +583,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// mux assembles the server's routes: the v1 API plus the legacy /cite
-// shim, which shares the v1 handler (and therefore the v1 statuses).
-func (s *server) mux() *http.ServeMux {
+// mux assembles the server's routes — the v1 API plus the legacy /cite
+// shim, which shares the v1 handler (and therefore the v1 statuses) — and
+// wraps them in the request middleware (IDs, access log, HTTP metrics,
+// slow-query capture).
+func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/cite", s.handleCite)
 	mux.HandleFunc("/v1/cite/stream", s.handleCiteStream)
@@ -478,10 +595,17 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/cite", s.handleCite) // deprecated: use /v1/cite
 	mux.HandleFunc("/views", s.handleViews)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/slow", s.handleSlow)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.withObservability(mux)
 }
 
 func main() {
@@ -492,6 +616,9 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "binding-enumeration workers per query (0 = adaptive from plan cardinalities, 1 = sequential)")
 		shards    = flag.Int("shards", 1, "hash-partition the database across N shards (<=1 unsharded)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (0 disables)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
+		slowThr   = flag.Duration("slow-threshold", 500*time.Millisecond, "capture requests at least this slow in the /v1/slow ring (0 disables)")
+		slowCap   = flag.Int("slow-capacity", 128, "slow-query ring capacity")
 	)
 	flag.Parse()
 
@@ -539,7 +666,11 @@ func main() {
 		viewsProgram: viewsProgram,
 		shards:       *shards,
 		timeout:      *timeout,
+		quiet:        *quiet,
+		slow:         newSlowLog(*slowThr, *slowCap),
+		idPrefix:     fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
 	}
+	s.initObservability()
 	log.Printf("citesrv: listening on %s (request timeout %v)", *addr, *timeout)
 	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }

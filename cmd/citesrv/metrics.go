@@ -1,0 +1,104 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"citare/internal/obs"
+)
+
+// initObservability builds the server's metrics registry, attaches the
+// engine's pipeline metrics (cite latency and per-stage histograms, tuple
+// and error counters), and exports the counters that already live
+// elsewhere — result/token caches, both plan-cache tiers, per-shard scan
+// and lookup counts — as scrape-time sampled series.
+func (s *server) initObservability() {
+	s.start = time.Now()
+	s.reg = obs.NewRegistry()
+	eng := s.citer.Citer().Engine()
+	eng.SetMetrics(obs.NewPipelineMetrics(s.reg))
+
+	// Result (citation) cache, including singleflight joins.
+	s.reg.CounterFunc("citare_result_cache_hits_total",
+		"Citation cache hits (singleflight joiners count as hits).",
+		func() uint64 { return s.citer.CacheStats().Hits })
+	s.reg.CounterFunc("citare_result_cache_misses_total",
+		"Citation cache misses.",
+		func() uint64 { return s.citer.CacheStats().Misses })
+	s.reg.CounterFunc("citare_result_cache_evictions_total",
+		"Citation cache LRU evictions.",
+		func() uint64 { return s.citer.CacheStats().Evictions })
+	s.reg.CounterFunc("citare_result_cache_waits_total",
+		"Callers that joined an in-flight citation computation.",
+		func() uint64 { return s.citer.CacheStats().Waits })
+
+	// Token render cache (per-epoch, inside the engine).
+	s.reg.CounterFunc("citare_token_cache_hits_total",
+		"Rendered-token cache hits.",
+		func() uint64 { return eng.TokenCacheStats().Hits })
+	s.reg.CounterFunc("citare_token_cache_misses_total",
+		"Rendered-token cache misses.",
+		func() uint64 { return eng.TokenCacheStats().Misses })
+
+	// Plan caches: the engine-lifetime logical tier (rewriting enumeration)
+	// and the per-epoch physical tier (compiled eval plans).
+	s.reg.CounterFunc("citare_plan_cache_hits_total",
+		"Plan cache hits, by tier (logical = rewritten query, physical = compiled plan).",
+		func() uint64 { h, _ := eng.LogicalPlanStats(); return h },
+		obs.Label{Key: "tier", Value: "logical"})
+	s.reg.CounterFunc("citare_plan_cache_misses_total",
+		"Plan cache misses, by tier.",
+		func() uint64 { _, m := eng.LogicalPlanStats(); return m },
+		obs.Label{Key: "tier", Value: "logical"})
+	s.reg.CounterFunc("citare_plan_cache_hits_total",
+		"Plan cache hits, by tier (logical = rewritten query, physical = compiled plan).",
+		func() uint64 { h, _ := eng.PhysicalPlanStats(); return h },
+		obs.Label{Key: "tier", Value: "physical"})
+	s.reg.CounterFunc("citare_plan_cache_misses_total",
+		"Plan cache misses, by tier.",
+		func() uint64 { _, m := eng.PhysicalPlanStats(); return m },
+		obs.Label{Key: "tier", Value: "physical"})
+
+	// Sharded deployments: scatter-gather op counts, total and per shard.
+	if sdb := eng.ShardDB(); sdb != nil {
+		s.reg.CounterFunc("citare_shard_pruned_lookups_total",
+			"Point lookups routed to a single shard by key pruning.",
+			func() uint64 { return sdb.OpStats().PrunedLookups })
+		s.reg.CounterFunc("citare_shard_fanout_lookups_total",
+			"Lookups fanned out to every shard (no pruning possible).",
+			func() uint64 { return sdb.OpStats().FanoutLookups })
+		for i := range sdb.OpStats().PerShard {
+			shard := strconv.Itoa(i)
+			s.reg.CounterFunc("citare_shard_scans_total",
+				"Relation scans served, by shard.",
+				func() uint64 { return sdb.OpStats().PerShard[i].Scans },
+				obs.Label{Key: "shard", Value: shard})
+			s.reg.CounterFunc("citare_shard_lookups_total",
+				"Indexed lookups served, by shard.",
+				func() uint64 { return sdb.OpStats().PerShard[i].Lookups },
+				obs.Label{Key: "shard", Value: shard})
+		}
+	}
+
+	s.reg.GaugeFunc("citare_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("citare_engine_shards",
+		"Engine shard count (1 = unsharded).",
+		func() float64 { return float64(s.shards) })
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format. Output ordering is deterministic (families and series sorted).
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "metrics not initialized", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		log.Printf("citesrv: write metrics: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"citare/internal/obs"
+)
+
+// reqInfo is the per-request observability record. The middleware creates
+// one per request and threads it through the context; handlers annotate it
+// (query text, tuples emitted, the pipeline trace) and the middleware reads
+// it back after the handler returns for the access-log line and the
+// slow-query log. Handlers run synchronously under the middleware, so plain
+// fields need no locking.
+type reqInfo struct {
+	id     string
+	query  string
+	tuples int
+	trace  *obs.Trace
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the request's reqInfo, or nil when the handler runs
+// outside the middleware (direct handler tests). All setters are nil-safe.
+func infoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+func (ri *reqInfo) setQuery(q string) {
+	if ri != nil {
+		ri.query = q
+	}
+}
+
+func (ri *reqInfo) setTuples(n int) {
+	if ri != nil {
+		ri.tuples = n
+	}
+}
+
+func (ri *reqInfo) addTuples(n int) {
+	if ri != nil {
+		ri.tuples += n
+	}
+}
+
+func (ri *reqInfo) setTrace(tr *obs.Trace) {
+	if ri != nil {
+		ri.trace = tr
+	}
+}
+
+// requestID returns the request's ID, or "" outside the middleware.
+func requestID(ctx context.Context) string {
+	if ri := infoFrom(ctx); ri != nil {
+		return ri.id
+	}
+	return ""
+}
+
+// nextRequestID mints a process-unique request ID: a per-process prefix
+// plus a monotonic sequence number.
+func (s *server) nextRequestID() string {
+	prefix := s.idPrefix
+	if prefix == "" {
+		prefix = "req"
+	}
+	return prefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+}
+
+// statusWriter captures the response status for the access log while
+// forwarding writes (and flushes — the streaming endpoint needs them) to
+// the underlying ResponseWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routeLabel collapses a request path to one of the server's known routes,
+// keeping the metric label set bounded no matter what paths clients probe.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/cite", "/v1/cite/stream", "/v1/cite/batch", "/cite",
+		"/views", "/stats", "/metrics", "/v1/slow", "/healthz":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof/"
+	}
+	return "other"
+}
+
+// withObservability wraps the route mux with the request middleware: it
+// mints the request ID (echoed in the X-Request-ID response header and in
+// error envelopes), carries a reqInfo through the context for handlers to
+// annotate, records HTTP request metrics, emits one structured access-log
+// line per request (suppressed by -quiet), and feeds requests over the
+// -slow-threshold into the slow-query ring served at /v1/slow.
+func (s *server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{id: s.nextRequestID()}
+		w.Header().Set("X-Request-ID", ri.id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		if s.reg != nil {
+			s.reg.Counter("citesrv_http_requests_total",
+				"HTTP requests served, by route and status.",
+				obs.Label{Key: "route", Value: route},
+				obs.Label{Key: "status", Value: strconv.Itoa(status)}).Inc()
+			s.reg.Histogram("citesrv_http_request_duration_seconds",
+				"HTTP request latency, by route.", obs.DefLatencyBuckets,
+				obs.Label{Key: "route", Value: route}).Observe(dur)
+		}
+		if !s.quiet {
+			log.Printf("citesrv: request id=%s method=%s route=%s status=%d dur=%s tuples=%d",
+				ri.id, r.Method, r.URL.Path, status, dur.Round(time.Microsecond), ri.tuples)
+		}
+		if s.slow != nil && dur >= s.slow.threshold {
+			s.slow.add(slowEntry{
+				RequestID:  ri.id,
+				Time:       start.UTC(),
+				Method:     r.Method,
+				Route:      r.URL.Path,
+				Query:      ri.query,
+				Status:     status,
+				DurationMs: float64(dur) / float64(time.Millisecond),
+				Tuples:     ri.tuples,
+				Trace:      ri.trace.Report(),
+			})
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"citare/internal/obs"
+)
+
+// slowEntry is one retained slow request: identity, outcome, and — for
+// handlers that evaluate a citation — the query text and the full pipeline
+// trace, in the same JSON shape as the facade's Explain report.
+type slowEntry struct {
+	RequestID  string      `json:"request_id"`
+	Time       time.Time   `json:"time"`
+	Method     string      `json:"method"`
+	Route      string      `json:"route"`
+	Query      string      `json:"query,omitempty"`
+	Status     int         `json:"status"`
+	DurationMs float64     `json:"duration_ms"`
+	Tuples     int         `json:"tuples"`
+	Trace      *obs.Report `json:"trace,omitempty"`
+}
+
+// slowLog is a fixed-capacity ring of the most recent requests slower than
+// the threshold: when full, each new entry evicts the oldest. A nil
+// *slowLog is the disabled state.
+type slowLog struct {
+	threshold time.Duration
+
+	mu   sync.Mutex
+	ring []slowEntry // grows to capacity, then overwrites in ring order
+	next int         // index the next entry lands in once the ring is full
+	seen uint64      // slow requests observed in total, including evicted
+}
+
+// newSlowLog builds a slow-query ring, or nil (disabled) when the
+// threshold or capacity is unset.
+func newSlowLog(threshold time.Duration, capacity int) *slowLog {
+	if threshold <= 0 || capacity <= 0 {
+		return nil
+	}
+	return &slowLog{threshold: threshold, ring: make([]slowEntry, 0, capacity)}
+}
+
+// add records one slow request, evicting the oldest entry when full.
+func (l *slowLog) add(e slowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seen++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+		return
+	}
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+}
+
+// snapshot returns the retained entries newest-first plus the total number
+// of slow requests seen.
+func (l *slowLog) snapshot() ([]slowEntry, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.ring)
+	out := make([]slowEntry, 0, n)
+	newest := n - 1
+	if n == cap(l.ring) && n > 0 {
+		newest = (l.next - 1 + n) % n
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(newest-i+n)%n])
+	}
+	return out, l.seen
+}
+
+// slowResponse is the GET /v1/slow wire form.
+type slowResponse struct {
+	ThresholdMs float64     `json:"threshold_ms"`
+	Capacity    int         `json:"capacity"`
+	Seen        uint64      `json:"seen"`
+	Entries     []slowEntry `json:"entries"`
+}
+
+// handleSlow serves GET /v1/slow: the retained slow-query entries, newest
+// first, each carrying its pipeline trace.
+func (s *server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	resp := slowResponse{Entries: []slowEntry{}}
+	if s.slow != nil {
+		resp.ThresholdMs = float64(s.slow.threshold) / float64(time.Millisecond)
+		resp.Capacity = cap(s.slow.ring)
+		resp.Entries, resp.Seen = s.slow.snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("citesrv: encode slow log: %v", err)
+	}
+}

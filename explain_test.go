@@ -1,0 +1,181 @@
+package citare
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"citare/internal/gtopdb"
+	"citare/internal/obs"
+	"citare/internal/shard"
+)
+
+const explainTestSQL = "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"
+
+// explainCiters builds one citer per evaluation configuration: unsharded
+// sequential / parallel / adaptive, and sharded (scatter-gather) at two
+// shard counts.
+func explainCiters(t *testing.T) map[string]*Citer {
+	t.Helper()
+	citers := make(map[string]*Citer)
+	for name, parallel := range map[string]int{"sequential": 1, "parallel4": 4, "auto": 0} {
+		c, err := NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram,
+			WithNeutralCitation(gtopdb.DatabaseCitation()), WithParallelEval(parallel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		citers[name] = c
+	}
+	for _, n := range []int{2, 4} {
+		sdb, err := shard.FromDB(gtopdb.PaperInstance(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+			WithNeutralCitation(gtopdb.DatabaseCitation()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		citers[fmt.Sprintf("scatter%d", n)] = c
+	}
+	return citers
+}
+
+// TestExplainParity: for every strategy and shard count, the citation is
+// byte-identical with Explain on and off, and only the explained request
+// carries a report.
+func TestExplainParity(t *testing.T) {
+	ctx := context.Background()
+	for name, c := range explainCiters(t) {
+		t.Run(name, func(t *testing.T) {
+			plain, err := c.Cite(ctx, Request{SQL: explainTestSQL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			explained, err := c.Cite(ctx, Request{SQL: explainTestSQL, Explain: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.CitationJSON() != explained.CitationJSON() {
+				t.Fatalf("citation diverged under Explain:\n off %s\n on  %s",
+					plain.CitationJSON(), explained.CitationJSON())
+			}
+			pr, _ := plain.Rendered()
+			er, _ := explained.Rendered()
+			if pr != er {
+				t.Fatalf("rendered output diverged under Explain")
+			}
+			if plain.Explain() != nil {
+				t.Fatal("unexplained citation carries a report")
+			}
+			if explained.Explain() == nil {
+				t.Fatal("explained citation carries no report")
+			}
+		})
+	}
+}
+
+// TestExplainReportShape checks the report's stage tree: the cite root with
+// tuple counts, every pipeline stage present, the eval strategy recorded,
+// and — under scatter-gather — per-shard spans.
+func TestExplainReportShape(t *testing.T) {
+	ctx := context.Background()
+	citers := explainCiters(t)
+
+	for name, wantStrategy := range map[string]string{
+		"sequential": "sequential",
+		"parallel4":  "parallel",
+		"scatter4":   "scatter",
+	} {
+		t.Run(name, func(t *testing.T) {
+			ct, err := citers[name].Cite(ctx, Request{SQL: explainTestSQL, Explain: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := ct.Explain()
+			root := ex.Stage(obs.StageCite)
+			if root == nil {
+				t.Fatalf("no cite root: %+v", ex.Stages)
+			}
+			if root.Attrs["tuples"] != int64(ct.NumTuples()) {
+				t.Fatalf("root tuples attr %v, want %d", root.Attrs["tuples"], ct.NumTuples())
+			}
+			for _, stage := range []string{
+				obs.StageParse, obs.StageRewrite, obs.StageCompile,
+				obs.StageEval, obs.StageGather, obs.StageRender,
+			} {
+				if ex.Stage(stage) == nil {
+					t.Fatalf("stage %q missing from report", stage)
+				}
+			}
+			eval := ex.Stage(obs.StageEval)
+			if got := eval.Attrs["strategy"]; got != wantStrategy {
+				t.Fatalf("eval strategy %v, want %q", got, wantStrategy)
+			}
+			if name == "scatter4" {
+				if eval.Attrs["shards"] == nil {
+					t.Fatalf("scatter eval has no shards attr: %v", eval.Attrs)
+				}
+				shardSpans := 0
+				for _, child := range eval.Children {
+					if child.Name == "shard" {
+						shardSpans++
+					}
+				}
+				if shardSpans == 0 {
+					t.Fatalf("scatter eval has no per-shard spans: %+v", eval.Children)
+				}
+			}
+			// The report must serialize: the slow-query log and the /v1/cite
+			// explain field both ship it as JSON.
+			if _, err := json.Marshal(ex); err != nil {
+				t.Fatalf("marshal explain: %v", err)
+			}
+			if ex.StageTotalsNs()[obs.StageEval] <= 0 {
+				t.Fatalf("eval total not positive: %v", ex.StageTotalsNs())
+			}
+		})
+	}
+}
+
+// TestExplainThroughCachedCiter: an Explain request bypasses the citation
+// cache (a cached Citation carries no trace) yet returns the identical
+// citation; plain requests still hit the cache.
+func TestExplainThroughCachedCiter(t *testing.T) {
+	ctx := context.Background()
+	c, err := NewFromProgram(gtopdb.PaperInstance(), gtopdb.ViewsProgram,
+		WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := NewCached(c)
+	plain, err := cached.Cite(ctx, Request{SQL: explainTestSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preHits, _ := cached.Stats()
+	explained, err := cached.Cite(ctx, Request{SQL: explainTestSQL, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cached.Stats(); hits != preHits {
+		t.Fatalf("explain request touched the cache: hits %d -> %d", preHits, hits)
+	}
+	if explained.Explain() == nil {
+		t.Fatal("explain through CachedCiter returned no report")
+	}
+	if plain.CitationJSON() != explained.CitationJSON() {
+		t.Fatal("explained citation diverged from cached citation")
+	}
+	again, err := cached.Cite(ctx, Request{SQL: explainTestSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cached.Stats(); hits != preHits+1 {
+		t.Fatalf("plain request after explain missed the cache")
+	}
+	if again.Explain() != nil {
+		t.Fatal("cached citation carries a stale report")
+	}
+}

@@ -24,6 +24,10 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Waits counts GetOrCompute callers that joined another caller's
+	// in-flight computation (singleflight). Every wait is also a hit, so
+	// Waits <= Hits; a high ratio means heavy duplicate-key contention.
+	Waits uint64
 }
 
 type entry[V any] struct {
@@ -113,8 +117,11 @@ func (c *Sharded[V]) Put(key string, v V) {
 // on a miss. Concurrent callers missing on the same key share a single
 // computation: one runs compute, the rest block until it finishes. Errors
 // are returned to every waiter and are not cached. Waiters that join an
-// in-flight computation count as hits (they did not pay for a compute).
-func (c *Sharded[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
+// in-flight computation count as hits (they did not pay for a compute)
+// and additionally as Waits. The returned bool reports whether the value
+// was served without running compute in this call (cache hit or joined
+// flight).
+func (c *Sharded[V]) GetOrCompute(key string, compute func() (V, error)) (V, bool, error) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.m[key]; ok {
@@ -122,13 +129,14 @@ func (c *Sharded[V]) GetOrCompute(key string, compute func() (V, error)) (V, err
 		s.stats.Hits++
 		v := e.val
 		s.mu.Unlock()
-		return v, nil
+		return v, true, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.stats.Hits++
+		s.stats.Waits++
 		s.mu.Unlock()
 		<-cl.done
-		return cl.val, cl.err
+		return cl.val, true, cl.err
 	}
 	cl := &call[V]{done: make(chan struct{})}
 	s.inflight[key] = cl
@@ -151,7 +159,7 @@ func (c *Sharded[V]) GetOrCompute(key string, compute func() (V, error)) (V, err
 	}()
 	cl.val, cl.err = compute()
 	finished = true
-	return cl.val, cl.err
+	return cl.val, false, cl.err
 }
 
 // errComputePanicked is handed to waiters whose leader's compute panicked;
@@ -200,6 +208,7 @@ func (c *Sharded[V]) Stats() Stats {
 		out.Hits += s.stats.Hits
 		out.Misses += s.stats.Misses
 		out.Evictions += s.stats.Evictions
+		out.Waits += s.stats.Waits
 		s.mu.Unlock()
 	}
 	return out

@@ -57,7 +57,7 @@ func TestGetOrComputeSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			v, err := c.GetOrCompute("k", func() (int, error) {
+			v, _, err := c.GetOrCompute("k", func() (int, error) {
 				computes.Add(1)
 				return 42, nil
 			})
@@ -80,13 +80,13 @@ func TestGetOrComputeSingleflight(t *testing.T) {
 func TestGetOrComputeErrorNotCached(t *testing.T) {
 	c := NewSharded[int](1, 4)
 	boom := errors.New("boom")
-	if _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err %v", err)
 	}
 	if c.Len() != 0 {
 		t.Fatal("error cached")
 	}
-	v, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	v, _, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
 	if err != nil || v != 7 {
 		t.Fatalf("retry: %v %v", v, err)
 	}
@@ -131,7 +131,7 @@ func TestConcurrentHitEvictStress(t *testing.T) {
 				case 1:
 					c.Get(k)
 				case 2:
-					if v, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil || v < 0 {
+					if v, _, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil || v < 0 {
 						t.Errorf("GetOrCompute: %v %v", v, err)
 					}
 				}

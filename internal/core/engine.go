@@ -11,6 +11,7 @@ import (
 	"citare/internal/cq"
 	"citare/internal/eval"
 	"citare/internal/format"
+	"citare/internal/obs"
 	"citare/internal/provenance"
 	"citare/internal/rewrite"
 	"citare/internal/shard"
@@ -73,6 +74,17 @@ type Engine struct {
 	// CiteBatch's plan sharing is asserted against these counters.
 	logicalHits   atomic.Uint64
 	logicalMisses atomic.Uint64
+
+	// physHits / physMisses count physical plan-cache lookups across every
+	// epoch's targets (the per-epoch caches themselves die with Reset, the
+	// counters survive).
+	physHits   atomic.Uint64
+	physMisses atomic.Uint64
+
+	// metrics, when attached via SetMetrics, receives pipeline counters and
+	// per-stage latency histograms from every cite. nil (the default)
+	// disables all metric timing.
+	metrics *obs.PipelineMetrics
 
 	epochCtr atomic.Uint64 // allocates unique epochs across concurrent Resets
 
@@ -165,6 +177,23 @@ func (e *Engine) DB() *storage.DB { return e.db }
 // ShardDB returns the underlying partitioned database (nil unless the
 // engine was built with NewShardedEngine).
 func (e *Engine) ShardDB() *shard.DB { return e.sdb }
+
+// SetMetrics attaches pipeline metrics: every subsequent cite records
+// counters and per-stage latency histograms into m. Pass nil to disable.
+// Call before sharing the engine across goroutines; it is not synchronized
+// with in-flight Cite calls.
+func (e *Engine) SetMetrics(m *obs.PipelineMetrics) { e.metrics = m }
+
+// TokenCacheStats reports the rendered-token cache counters (hits, misses,
+// evictions, singleflight waits) accumulated over the engine's lifetime.
+func (e *Engine) TokenCacheStats() cache.Stats { return e.tokenCache.Stats() }
+
+// PhysicalPlanStats reports the physical plan-cache counters summed across
+// all epochs: hits served from a per-epoch compiled-plan cache, and misses
+// that ran an eval.Compile.
+func (e *Engine) PhysicalPlanStats() (hits, misses uint64) {
+	return e.physHits.Load(), e.physMisses.Load()
+}
 
 // SetEvalParallelism sets the worker count for parallel binding
 // enumeration: 0 (the default) adapts the count to each compiled plan's
@@ -289,8 +318,8 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 				return nil, ierr
 			}
 		}
-		st.snap = shardedTarget(snap).cached()
-		st.exec = shardedTarget(exec).cached()
+		st.snap = shardedTarget(snap).cached(e)
+		st.exec = shardedTarget(exec).cached(e)
 		st.execIns = exec
 		return st, nil
 	}
@@ -310,8 +339,8 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 			return nil, ierr
 		}
 	}
-	st.snap = targetOf(snap).cached()
-	st.exec = targetOf(exec).cached()
+	st.snap = targetOf(snap).cached(e)
+	st.exec = targetOf(exec).cached(e)
 	st.execIns = exec
 	return st, nil
 }
@@ -361,21 +390,35 @@ func (e *Engine) materializeViews(ctx context.Context, st *engineState, views []
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	tr, cur := obs.FromContext(ctx)
 	for _, v := range views {
 		if st.materialized[v.Name()] {
 			continue
 		}
-		res, err := st.snap.eval(ctx, v.Def, e.evalOpts())
+		vctx := ctx
+		vsp := obs.NoSpan
+		if tr != nil {
+			// One child span per view actually materialized this epoch; an
+			// already-warm views stage shows up as a span with no children.
+			vsp = tr.Start(cur, "view")
+			tr.SetStr(vsp, "view", v.Name())
+			vctx = obs.NewContext(ctx, tr, vsp)
+		}
+		res, err := st.snap.eval(vctx, v.Def, e.evalOpts())
 		if err != nil {
+			tr.End(vsp)
 			return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
 		}
 		rel := viewRelPrefix + v.Name()
 		for _, t := range res.Tuples {
 			if err := st.execIns.Insert(rel, t...); err != nil {
+				tr.End(vsp)
 				return err
 			}
 		}
 		st.materialized[v.Name()] = true
+		tr.SetInt(vsp, "tuples", int64(len(res.Tuples)))
+		tr.End(vsp)
 	}
 	return nil
 }
@@ -462,23 +505,44 @@ func (e *Engine) CiteEach(ctx context.Context, q *cq.Query, o CiteOptions, fn fu
 // cite is the materialized citation pipeline behind Cite and CiteCtx;
 // citeStream is its pull-iterator twin behind CiteEach, property-tested
 // byte-identical.
-func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (*Result, error) {
+func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	cpq, err := e.logicalPlan(q, o)
+	ob, ctx := e.obsStart(ctx, "cite")
+	if ob.enabled() {
+		defer func() {
+			tuples, rws := 0, 0
+			if res != nil {
+				tuples, rws = len(res.Tuples), len(res.Rewritings)
+			}
+			ob.finish(tuples, rws, err)
+		}()
+	}
+
+	rw := ob.begin(obs.StageRewrite)
+	cpq, hit, err := e.logicalPlan(q, o)
+	ob.end(rw)
 	if err != nil {
 		return nil, err
+	}
+	if ob.tr != nil {
+		cached := int64(0)
+		if hit {
+			cached = 1
+		}
+		ob.tr.SetInt(rw.id, "cached", cached)
+		ob.tr.SetInt(rw.id, "rewritings", int64(len(cpq.rewritings)))
 	}
 	if !cpq.sat {
 		return e.citeUnsat(cpq.norm)
 	}
 	min, rewritings := cpq.min, cpq.rewritings
 
-	res := &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
+	res = &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
 
 	// Evaluate the query itself for the output tuples (independent of any
 	// rewriting, so even an un-rewritable query reports its answers). The
@@ -488,10 +552,13 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (*Result,
 	st := e.curState()
 	outOpts := e.requestOpts(o)
 	outOpts.MaxTuples = o.MaxTuples
-	out, err := st.snap.eval(ctx, min, outOpts)
+	ev := ob.begin(obs.StageEval)
+	out, err := st.snap.eval(ob.ctxFor(ctx, ev), min, outOpts)
+	ob.end(ev)
 	if err != nil {
 		return nil, err
 	}
+	ob.tr.SetInt(ev.id, "tuples", int64(len(out.Tuples)))
 	perTuple := make(map[string]*TupleCitation, len(out.Tuples))
 	order := make([]string, 0, len(out.Tuples))
 	for _, t := range out.Tuples {
@@ -505,13 +572,26 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	if err := e.materializeViews(ctx, st, views); err != nil {
+	vs := ob.begin(obs.StageViews)
+	err = e.materializeViews(ob.ctxFor(ctx, vs), st, views)
+	ob.end(vs)
+	if err != nil {
 		return nil, err
 	}
 
+	gs := ob.begin(obs.StageGather)
 	for _, r := range rewritings {
-		polys, err := e.rewritingPolys(ctx, st, o, r)
+		rctx := ctx
+		rsp := obs.NoSpan
+		if ob.tr != nil {
+			rsp = ob.tr.Start(gs.id, "rewriting")
+			ob.tr.SetStr(rsp, "rewriting", r.String())
+			rctx = obs.NewContext(ctx, ob.tr, rsp)
+		}
+		polys, err := e.rewritingPolys(rctx, st, o, r)
+		ob.tr.End(rsp)
 		if err != nil {
+			ob.end(gs)
 			return nil, err
 		}
 		for k, p := range polys {
@@ -519,26 +599,33 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (*Result,
 			if tc == nil {
 				// A certified rewriting cannot produce extra tuples; guard
 				// anyway to surface bugs instead of silently diverging.
+				ob.end(gs)
 				return nil, fmt.Errorf("core: rewriting %s produced tuple outside the query result", r)
 			}
 			tc.PerRewriting = append(tc.PerRewriting, RewritingCitation{Rewriting: r, Poly: p})
 		}
 	}
+	ob.end(gs)
 
 	// Combine and render in deterministic tuple order: Plan.Eval's contract
 	// sorts out.Tuples by key, so order — built in that sequence — is
 	// already sorted and the citation order matches the tuple order.
 	// Rendering cancels per tuple and, inside a tuple, per token.
+	rd := ob.begin(obs.StageRender)
+	rdCtx := ob.ctxFor(ctx, rd)
 	for _, k := range order {
 		if err := ctx.Err(); err != nil {
+			ob.end(rd)
 			return nil, err
 		}
 		tc := perTuple[k]
-		if err := e.combineTuple(ctx, st, tc); err != nil {
+		if err := e.combineTuple(rdCtx, st, tc); err != nil {
+			ob.end(rd)
 			return nil, err
 		}
 		res.Tuples = append(res.Tuples, *tc)
 	}
+	ob.end(rd)
 	res.Citation = e.aggregate(res.Tuples)
 	return res, nil
 }
@@ -561,9 +648,10 @@ func headColumns(q *cq.Query) []string {
 // query's collision-free syntactic key (suffixed with the effective
 // rewriting bound when a request overrides it, so different bounds never
 // share a plan). Concurrent misses may compile twice; the first stored
-// plan wins so every caller shares one instance. The caller must have
-// validated q.
-func (e *Engine) logicalPlan(q *cq.Query, o CiteOptions) (*compiledQuery, error) {
+// plan wins so every caller shares one instance. The returned bool
+// reports whether the plan was served from the cache. The caller must
+// have validated q.
+func (e *Engine) logicalPlan(q *cq.Query, o CiteOptions) (*compiledQuery, bool, error) {
 	// A request may only tighten the policy's bound, never raise it.
 	maxRW := e.policy.MaxRewritings
 	if o.MaxRewritings > 0 && (maxRW == 0 || o.MaxRewritings < maxRW) {
@@ -578,12 +666,12 @@ func (e *Engine) logicalPlan(q *cq.Query, o CiteOptions) (*compiledQuery, error)
 	e.queryMu.RUnlock()
 	if cpq != nil {
 		e.logicalHits.Add(1)
-		return cpq, nil
+		return cpq, true, nil
 	}
 	e.logicalMisses.Add(1)
 	cpq, err := e.compileQuery(q, maxRW)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.queryMu.Lock()
 	if prev := e.queries[key]; prev != nil {
@@ -592,7 +680,7 @@ func (e *Engine) logicalPlan(q *cq.Query, o CiteOptions) (*compiledQuery, error)
 		e.queries[key] = cpq
 	}
 	e.queryMu.Unlock()
-	return cpq, nil
+	return cpq, false, nil
 }
 
 // LogicalPlanStats reports the logical-plan cache counters: hits served
@@ -847,9 +935,16 @@ func (e *Engine) renderTokenCached(ctx context.Context, st *engineState, pt prov
 		return nil, err
 	}
 	key := strconv.FormatUint(st.epoch, 10) + "|" + string(pt)
-	obj, _ := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
+	obj, hit, _ := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
 		return e.renderToken(st, pt), nil
 	})
+	if tr, sp := obs.FromContext(ctx); tr != nil {
+		if hit {
+			tr.AddInt(sp, "token_cache_hits", 1)
+		} else {
+			tr.AddInt(sp, "token_cache_misses", 1)
+		}
+	}
 	return obj, nil
 }
 

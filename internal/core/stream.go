@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"citare/internal/cq"
 	"citare/internal/eval"
+	"citare/internal/obs"
 	"citare/internal/provenance"
 	"citare/internal/rewrite"
 	"citare/internal/storage"
@@ -38,61 +40,114 @@ import (
 // stages mirror cite() exactly; every divergence in combining order would
 // break the byte-parity contract, so the two share logicalPlan,
 // materializeViews, rewritingQuery, normalizePolys and combineTuple.
-func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, each func(*TupleCitation) error) (*Result, error) {
+func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, each func(*TupleCitation) error) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	cpq, err := e.logicalPlan(q, o)
+	ob, ctx := e.obsStart(ctx, "stream")
+	delivered := 0
+	if ob.enabled() {
+		defer func() {
+			rws := 0
+			if res != nil {
+				rws = len(res.Rewritings)
+			}
+			ob.finish(delivered, rws, err)
+		}()
+	}
+
+	rw := ob.begin(obs.StageRewrite)
+	cpq, hit, err := e.logicalPlan(q, o)
+	ob.end(rw)
 	if err != nil {
 		return nil, err
+	}
+	if ob.tr != nil {
+		cached := int64(0)
+		if hit {
+			cached = 1
+		}
+		ob.tr.SetInt(rw.id, "cached", cached)
+		ob.tr.SetInt(rw.id, "rewritings", int64(len(cpq.rewritings)))
 	}
 	if !cpq.sat {
 		return e.citeUnsat(cpq.norm)
 	}
 	min, rewritings := cpq.min, cpq.rewritings
-	res := &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
+	res = &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
 
 	st := e.curState()
 	outOpts := e.requestOpts(o)
 	outOpts.MaxTuples = o.MaxTuples
 
-	keys, perKey, err := e.streamOutput(ctx, st, min, outOpts)
+	ev := ob.begin(obs.StageEval)
+	keys, perKey, err := e.streamOutput(ob.ctxFor(ctx, ev), st, min, outOpts)
+	ob.end(ev)
 	if err != nil {
 		return nil, err
 	}
+	ob.tr.SetInt(ev.id, "tuples", int64(len(keys)))
 
 	views, err := e.viewsUsed(rewritings)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.materializeViews(ctx, st, views); err != nil {
+	vs := ob.begin(obs.StageViews)
+	err = e.materializeViews(ob.ctxFor(ctx, vs), st, views)
+	ob.end(vs)
+	if err != nil {
 		return nil, err
 	}
+	gs := ob.begin(obs.StageGather)
 	for _, r := range rewritings {
-		if err := e.gatherRewriting(ctx, st, o, r, perKey); err != nil {
+		rctx := ctx
+		rsp := obs.NoSpan
+		if ob.tr != nil {
+			rsp = ob.tr.Start(gs.id, "rewriting")
+			ob.tr.SetStr(rsp, "rewriting", r.String())
+			rctx = obs.NewContext(ctx, ob.tr, rsp)
+		}
+		err := e.gatherRewriting(rctx, st, o, r, perKey)
+		ob.tr.End(rsp)
+		if err != nil {
+			ob.end(gs)
 			return nil, err
 		}
 	}
+	ob.end(gs)
 
 	// Deliver in the deterministic key order, releasing each entry before
 	// its combine+render so the stream holds one rendered citation at a
 	// time. Rendering cancels per tuple and, inside a tuple, per token.
+	// Render time is accumulated around combineTuple only — the consumer's
+	// callback (and its backpressure) must not count as render cost — and
+	// recorded as one completed span at the end of the stream.
+	var renderDur time.Duration
 	for _, k := range keys {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		tc := perKey[k]
 		delete(perKey, k)
+		var t0 time.Time
+		if ob.enabled() {
+			t0 = time.Now()
+		}
 		if err := e.combineTuple(ctx, st, tc); err != nil {
 			return nil, err
 		}
+		if ob.enabled() {
+			renderDur += time.Since(t0)
+		}
+		delivered++
 		if err := each(tc); err != nil {
 			return nil, err
 		}
 	}
+	ob.record(obs.StageRender, renderDur)
 	return res, nil
 }
 

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"citare/internal/cq"
 	"citare/internal/eval"
+	"citare/internal/obs"
 	"citare/internal/storage"
 )
 
@@ -32,6 +34,10 @@ type planCache struct {
 type evalTarget struct {
 	view  eval.DBView
 	plans *planCache // nil: compile per call (one-shot targets)
+	// eng links back to the owning engine for the engine-lifetime
+	// physical-plan counters and pipeline metrics; nil for one-shot
+	// targets, which report nothing.
+	eng *Engine
 }
 
 // targetOf wraps a plain storage database.
@@ -46,30 +52,74 @@ func shardedTarget(p eval.Partitioned) evalTarget {
 
 // cached returns the target with a fresh plan cache attached — used for the
 // engine's epoch-scoped targets, where repeated citations of the same query
-// skip compilation entirely.
-func (t evalTarget) cached() evalTarget {
+// skip compilation entirely. The engine backref feeds its physical
+// plan-cache counters and (when attached) per-stage compile metrics.
+func (t evalTarget) cached(e *Engine) evalTarget {
 	t.plans = &planCache{m: make(map[string]*eval.Plan)}
+	t.eng = e
 	return t
 }
 
 // plan returns the compiled plan for q, memoized when the target carries a
-// cache. Concurrent misses may compile twice; the first stored plan wins,
-// so every caller executes an identical plan.
-func (t evalTarget) plan(q *cq.Query) (*eval.Plan, error) {
-	c := t.plans
-	if c == nil {
+// cache. When a trace rides ctx (or pipeline metrics are attached) the
+// lookup-or-compile is bracketed in a "compile" span annotated with the
+// cache outcome and the compiled join order; with both disabled it costs
+// two atomic adds over the untraced path.
+func (t evalTarget) plan(ctx context.Context, q *cq.Query) (*eval.Plan, error) {
+	if t.plans == nil {
 		return eval.Compile(t.view, q)
 	}
+	tr, cur := obs.FromContext(ctx)
+	var m *obs.PipelineMetrics
+	if t.eng != nil {
+		m = t.eng.metrics
+	}
+	if tr == nil && m == nil {
+		pl, _, err := t.planLookup(q)
+		return pl, err
+	}
+	t0 := time.Now()
+	sp := tr.Start(cur, obs.StageCompile)
+	pl, hit, err := t.planLookup(q)
+	m.Stage(obs.StageCompile).Observe(time.Since(t0))
+	if err != nil {
+		tr.End(sp)
+		return nil, err
+	}
+	if tr != nil {
+		cached := int64(0)
+		if hit {
+			cached = 1
+		}
+		tr.SetInt(sp, "cached", cached)
+		tr.SetStr(sp, "plan", pl.Describe())
+		tr.End(sp)
+	}
+	return pl, nil
+}
+
+// planLookup is the cache-consulting compile: it reports whether the plan
+// was served from the per-epoch cache and feeds the engine-lifetime
+// physical plan-cache counters. Concurrent misses may compile twice; the
+// first stored plan wins, so every caller executes an identical plan.
+func (t evalTarget) planLookup(q *cq.Query) (*eval.Plan, bool, error) {
+	c := t.plans
 	key := q.Key()
 	c.mu.RLock()
 	pl := c.m[key]
 	c.mu.RUnlock()
 	if pl != nil {
-		return pl, nil
+		if t.eng != nil {
+			t.eng.physHits.Add(1)
+		}
+		return pl, true, nil
+	}
+	if t.eng != nil {
+		t.eng.physMisses.Add(1)
 	}
 	pl, err := eval.Compile(t.view, q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	if prev := c.m[key]; prev != nil {
@@ -78,11 +128,11 @@ func (t evalTarget) plan(q *cq.Query) (*eval.Plan, error) {
 		c.m[key] = pl
 	}
 	c.mu.Unlock()
-	return pl, nil
+	return pl, false, nil
 }
 
 func (t evalTarget) eval(ctx context.Context, q *cq.Query, opts eval.Options) (*eval.Result, error) {
-	pl, err := t.plan(q)
+	pl, err := t.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +140,7 @@ func (t evalTarget) eval(ctx context.Context, q *cq.Query, opts eval.Options) (*
 }
 
 func (t evalTarget) evalBindings(ctx context.Context, q *cq.Query, opts eval.Options, fn func(eval.Binding, []eval.Match) error) error {
-	pl, err := t.plan(q)
+	pl, err := t.plan(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -101,7 +151,7 @@ func (t evalTarget) evalBindings(ctx context.Context, q *cq.Query, opts eval.Opt
 // tuples arrive through the returned pull iterator with backpressure instead
 // of a gathered Result. The caller must Close the iterator.
 func (t evalTarget) tuples(ctx context.Context, q *cq.Query, opts eval.Options) (*eval.TupleIterator, error) {
-	pl, err := t.plan(q)
+	pl, err := t.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +162,7 @@ func (t evalTarget) tuples(ctx context.Context, q *cq.Query, opts eval.Options) 
 // together with the compiled plan (whose Vars order the frames follow). The
 // caller must Close the iterator.
 func (t evalTarget) frames(ctx context.Context, q *cq.Query, opts eval.Options) (*eval.FrameIterator, *eval.Plan, error) {
-	pl, err := t.plan(q)
+	pl, err := t.plan(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}

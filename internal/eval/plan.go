@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"citare/internal/cq"
+	"citare/internal/obs"
 	"citare/internal/storage"
 )
 
@@ -292,6 +294,46 @@ func sliceHas(xs []int, x int) bool {
 // Query returns the query the plan was compiled from.
 func (p *Plan) Query() *cq.Query { return p.q }
 
+// Describe renders the compiled join order and access paths as a compact
+// one-line string, e.g.
+//
+//	FamilyIntro[lookup(FID) 120r] -> Family[scan 500r]
+//
+// Each element is one step of the physical join order: the relation, the
+// access path (an indexed lookup on the named columns, or a full scan) and
+// the relation's live cardinality. EXPLAIN output and trace spans carry
+// this as the "plan" attribute.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	for i := range p.steps {
+		st := &p.steps[i]
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(st.pred)
+		b.WriteByte('[')
+		if len(st.lookupCols) > 0 {
+			b.WriteString("lookup(")
+			sch := st.rel.Schema()
+			for j, c := range st.lookupCols {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				if sch != nil && c < len(sch.Cols) {
+					b.WriteString(sch.Cols[c].Name)
+				} else {
+					fmt.Fprintf(&b, "#%d", c)
+				}
+			}
+			b.WriteByte(')')
+		} else {
+			b.WriteString("scan")
+		}
+		fmt.Fprintf(&b, " %dr]", st.rel.Len())
+	}
+	return b.String()
+}
+
 // frameFn receives one satisfying valuation as a slot frame plus the matched
 // base tuples. Both slices are reused across deliveries and must not be
 // retained.
@@ -421,6 +463,14 @@ func (p *Plan) frames(ctx context.Context, opts Options, fn frameFn) error {
 			return nil
 		}
 	}
+	if tr, sp := obs.FromContext(ctx); tr != nil {
+		return p.framesTraced(ctx, opts, fn, tr, sp)
+	}
+	return p.dispatchFrames(ctx, opts, fn)
+}
+
+// dispatchFrames routes the enumeration to the chosen execution strategy.
+func (p *Plan) dispatchFrames(ctx context.Context, opts Options, fn frameFn) error {
 	if p.part != nil && p.part.NumShards() > 1 {
 		return p.scatterFrames(ctx, opts, fn)
 	}
@@ -428,6 +478,31 @@ func (p *Plan) frames(ctx context.Context, opts Options, fn frameFn) error {
 		return p.parallelFrames(ctx, w, fn)
 	}
 	return p.newExec(ctx, fn).run(0)
+}
+
+// framesTraced is the traced twin of dispatchFrames: it annotates the
+// current span with the strategy chosen for this enumeration and the
+// number of frames delivered. Only reached when a trace is in ctx, so the
+// closure and counter cost nothing on the disabled path.
+func (p *Plan) framesTraced(ctx context.Context, opts Options, fn frameFn, tr *obs.Trace, sp obs.SpanID) error {
+	switch {
+	case p.part != nil && p.part.NumShards() > 1:
+		tr.SetStr(sp, "strategy", "scatter")
+	default:
+		if w := p.workers(opts); w > 1 {
+			tr.SetStr(sp, "strategy", "parallel")
+			tr.SetInt(sp, "workers", int64(w))
+		} else {
+			tr.SetStr(sp, "strategy", "sequential")
+		}
+	}
+	var frames int64
+	err := p.dispatchFrames(ctx, opts, func(frame []string, ms []Match) error {
+		frames++ // fn is never invoked concurrently, in any strategy
+		return fn(frame, ms)
+	})
+	tr.AddInt(sp, "frames", frames)
+	return err
 }
 
 // workers resolves the effective worker count for a plain (unpartitioned)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"citare/internal/cq"
+	"citare/internal/obs"
 	"citare/internal/storage"
 )
 
@@ -110,6 +111,12 @@ func (p *Plan) scatterFrames(ctx context.Context, opts Options, fn frameFn) erro
 	if len(cands) == 0 {
 		return nil
 	}
+	// When a trace rides the context, each candidate shard's enumeration
+	// gets its own child span under the current one — that is the
+	// per-shard timing breakdown Explain reports. tr is nil otherwise and
+	// every call below is a no-op.
+	tr, cur := obs.FromContext(ctx)
+	tr.SetInt(cur, "shards", int64(len(cands)))
 
 	// scanShard enumerates the first step inside one shard and descends the
 	// remaining steps against the union view through e.
@@ -118,6 +125,8 @@ func (p *Plan) scatterFrames(ctx context.Context, opts Options, fn frameFn) erro
 		if rel == nil {
 			return nil
 		}
+		ssp := tr.Start(cur, "shard")
+		tr.SetInt(ssp, "shard", int64(si))
 		var iterErr error
 		iter := func(t storage.Tuple) bool {
 			if err := e.feed(0, t); err != nil {
@@ -131,10 +140,12 @@ func (p *Plan) scatterFrames(ctx context.Context, opts Options, fn frameFn) erro
 		} else {
 			rel.Scan(iter)
 		}
+		tr.End(ssp)
 		return iterErr
 	}
 
 	workers := p.scatterWorkers(opts, len(cands))
+	tr.SetInt(cur, "workers", int64(workers))
 	if workers <= 1 {
 		e := p.newExec(ctx, fn)
 		for _, si := range cands {

@@ -1,0 +1,399 @@
+// Package obs provides the observability layer for the citation engine:
+// a low-overhead metrics registry (atomic counters, gauges, bucketed
+// latency histograms) and a lightweight span/trace API carried through
+// context.Context.
+//
+// Both halves are designed around the same constraint: when nobody is
+// looking, the cost must be ~zero. Counters and histograms are plain
+// atomics with no locks and no allocations on the update path, and every
+// *Trace method is safe on a nil receiver (a nil *Trace is the disabled
+// state), so instrumented code never branches on "is tracing on".
+//
+// A Registry renders itself in the Prometheus text exposition format via
+// WritePrometheus; output ordering is deterministic (families sorted by
+// name, series sorted by label signature) so scrapes are golden-testable.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; all methods are safe for concurrent use and safe on nil (no-op).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use and safe on nil (no-op).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefLatencyBuckets are the default histogram bucket upper bounds, in
+// seconds, tuned for request latencies from tens of microseconds to
+// several seconds.
+var DefLatencyBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 1, 2.5, 10,
+}
+
+// Histogram counts observations into fixed buckets. Updates are lock-free
+// atomic adds with zero allocations; observing on a nil histogram is a
+// no-op. Durations are recorded in seconds (Prometheus convention).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf after the last
+	counts []atomic.Uint64
+	sumNs  atomic.Int64 // total observed time in nanoseconds
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance of a metric family. Exactly one of the
+// value fields is set, matching the family's kind.
+type series struct {
+	labels    []Label
+	sig       string // rendered label set, used for dedup and sort order
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds named metric families and renders them as Prometheus
+// text. Registration takes a lock; the returned Counter/Gauge/Histogram
+// handles are then updated lock-free. Registering the same name+labels
+// twice returns the existing instrument, so packages can look metrics up
+// idempotently.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) find(sig string) *series {
+	for _, s := range f.series {
+		if s.sig == sig {
+			return s
+		}
+	}
+	return nil
+}
+
+func (f *family) add(s *series) {
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].sig < f.series[j].sig })
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	sig := labelSig(labels)
+	if s := f.find(sig); s != nil {
+		return s.counter
+	}
+	s := &series{labels: labels, sig: sig, counter: &Counter{}}
+	f.add(s)
+	return s.counter
+}
+
+// CounterFunc registers a counter series whose value is sampled from fn
+// at scrape time. Useful for exporting counters that already live
+// elsewhere (cache stats, plan-cache hit counts).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	sig := labelSig(labels)
+	if f.find(sig) != nil {
+		return
+	}
+	f.add(&series{labels: labels, sig: sig, counterFn: fn})
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	sig := labelSig(labels)
+	if s := f.find(sig); s != nil {
+		return s.gauge
+	}
+	s := &series{labels: labels, sig: sig, gauge: &Gauge{}}
+	f.add(s)
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	sig := labelSig(labels)
+	if f.find(sig) != nil {
+		return
+	}
+	f.add(&series{labels: labels, sig: sig, gaugeFn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram series with the
+// given bucket upper bounds (seconds). Pass DefLatencyBuckets for request
+// latencies.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram)
+	sig := labelSig(labels)
+	if s := f.find(sig); s != nil {
+		return s.hist
+	}
+	s := &series{labels: labels, sig: sig, hist: newHistogram(buckets)}
+	f.add(s)
+	return s.hist
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// series by label signature, so output for fixed values is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				v := s.counter.Value()
+				if s.counterFn != nil {
+					v = s.counterFn()
+				}
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.sig, v)
+			case kindGauge:
+				if s.gaugeFn != nil {
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, s.sig, formatFloat(s.gaugeFn()))
+				} else {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, s.sig, s.gauge.Value())
+				}
+			case kindHistogram:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketSig(s.labels, formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketSig(s.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.sig, formatFloat(h.Sum().Seconds()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.sig, h.Count())
+}
+
+// labelSig renders a label set as `{k="v",...}` with keys sorted, or ""
+// for the empty set. The rendered form doubles as the series identity.
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// bucketSig renders the label set with the conventional trailing le label.
+func bucketSig(labels []Label, le string) string {
+	sig := labelSig(labels)
+	if sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return sig[:len(sig)-1] + `,le="` + le + `"}`
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden locks the text exposition format: family and
+// series ordering, HELP/TYPE lines, label rendering, cumulative histogram
+// buckets with the trailing le label, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_ops_total", "Operations performed.")
+	c.Add(3)
+	r.Counter("app_ops_total", "Operations performed.", Label{Key: "op", Value: "read"}).Add(2)
+	r.Gauge("app_queue_depth", "Queued items.").Set(7)
+	r.CounterFunc("app_sampled_total", "Sampled from elsewhere.", func() uint64 { return 9 })
+	r.GaugeFunc("app_temperature", "Sampled gauge.", func() float64 { return 1.5 })
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.001, 1})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Second)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.001"} 1
+app_latency_seconds_bucket{le="1"} 1
+app_latency_seconds_bucket{le="+Inf"} 2
+app_latency_seconds_sum 2.0005
+app_latency_seconds_count 2
+# HELP app_ops_total Operations performed.
+# TYPE app_ops_total counter
+app_ops_total 3
+app_ops_total{op="read"} 2
+# HELP app_queue_depth Queued items.
+# TYPE app_queue_depth gauge
+app_queue_depth 7
+# HELP app_sampled_total Sampled from elsewhere.
+# TYPE app_sampled_total counter
+app_sampled_total 9
+# HELP app_temperature Sampled gauge.
+# TYPE app_temperature gauge
+app_temperature 1.5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryIdempotentAndLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	r.Counter("esc_total", "E.", Label{Key: "q", Value: "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "M.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter and gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "M.")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for _, d := range []time.Duration{
+		time.Millisecond,       // ≤ 0.01
+		5 * time.Millisecond,   // ≤ 0.01
+		50 * time.Millisecond,  // ≤ 0.1
+		500 * time.Millisecond, // ≤ 1
+		10 * time.Millisecond,  // boundary: ≤ 0.01 (le is inclusive)
+		2 * time.Second,        // +Inf
+	} {
+		h.Observe(d)
+	}
+	want := []uint64{3, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument kind from many goroutines
+// under GOMAXPROCS 1 and 4; run with -race. Totals must be exact — atomic
+// updates lose nothing.
+func TestConcurrentUpdates(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(map[int]string{1: "gomaxprocs1", 4: "gomaxprocs4"}[procs], func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			r := NewRegistry()
+			c := r.Counter("c_total", "C.")
+			g := r.Gauge("g", "G.")
+			h := r.Histogram("h_seconds", "H.", DefLatencyBuckets)
+			const goroutines = 8
+			const opsPer = 2000
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < opsPer; j++ {
+						c.Inc()
+						g.Add(1)
+						g.Add(-1)
+						h.Observe(time.Duration(j) * time.Microsecond)
+					}
+				}()
+			}
+			wg.Wait()
+			if c.Value() != goroutines*opsPer {
+				t.Fatalf("counter %d, want %d", c.Value(), goroutines*opsPer)
+			}
+			if g.Value() != 0 {
+				t.Fatalf("gauge %d, want 0", g.Value())
+			}
+			if h.Count() != goroutines*opsPer {
+				t.Fatalf("histogram count %d, want %d", h.Count(), goroutines*opsPer)
+			}
+			var cum uint64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+			}
+			if cum != goroutines*opsPer {
+				t.Fatalf("bucket sum %d, want %d", cum, goroutines*opsPer)
+			}
+		})
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+}

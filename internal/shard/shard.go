@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"citare/internal/eval"
 	"citare/internal/storage"
@@ -24,6 +25,56 @@ type DB struct {
 	parts  []*storage.DB
 	keyIdx map[string]int // relation -> shard-key column index
 	frozen bool
+	ops    *opCounters
+}
+
+// opCounters tallies scan/lookup traffic through the union views. The
+// struct is shared by pointer between a live DB and every Snapshot of it,
+// so evaluation against snapshots (how the engine always reads) remains
+// observable on the live handle. All fields are atomics: scatter-gather
+// workers update them concurrently.
+type opCounters struct {
+	scans         atomic.Uint64 // full fan-out Scan calls
+	prunedLookups atomic.Uint64 // lookups routed to exactly one shard
+	fanoutLookups atomic.Uint64 // lookups that had to touch every shard
+	perShard      []shardOps    // per-shard touch counts, len == NumShards
+}
+
+type shardOps struct {
+	scans   atomic.Uint64
+	lookups atomic.Uint64
+}
+
+// ShardOps is one shard's operation counts in an OpStats snapshot.
+type ShardOps struct {
+	Scans   uint64 `json:"scans"`
+	Lookups uint64 `json:"lookups"`
+}
+
+// OpStats is a point-in-time copy of a DB's operation counters.
+type OpStats struct {
+	Scans         uint64     `json:"scans"`
+	PrunedLookups uint64     `json:"pruned_lookups"`
+	FanoutLookups uint64     `json:"fanout_lookups"`
+	PerShard      []ShardOps `json:"per_shard"`
+}
+
+// OpStats returns the DB's accumulated scan/lookup counters. Counters are
+// shared with snapshots taken from this DB.
+func (d *DB) OpStats() OpStats {
+	out := OpStats{
+		Scans:         d.ops.scans.Load(),
+		PrunedLookups: d.ops.prunedLookups.Load(),
+		FanoutLookups: d.ops.fanoutLookups.Load(),
+		PerShard:      make([]ShardOps, len(d.ops.perShard)),
+	}
+	for i := range d.ops.perShard {
+		out.PerShard[i] = ShardOps{
+			Scans:   d.ops.perShard[i].scans.Load(),
+			Lookups: d.ops.perShard[i].lookups.Load(),
+		}
+	}
+	return out
 }
 
 // New creates an empty database over the schema, partitioned across n
@@ -36,6 +87,7 @@ func New(schema *storage.Schema, n int) *DB {
 		schema: schema,
 		parts:  make([]*storage.DB, n),
 		keyIdx: make(map[string]int),
+		ops:    &opCounters{perShard: make([]shardOps, n)},
 	}
 	for i := range d.parts {
 		d.parts[i] = storage.NewDB(schema)
@@ -146,6 +198,7 @@ func (d *DB) Snapshot() *DB {
 		parts:  make([]*storage.DB, len(d.parts)),
 		keyIdx: d.keyIdx,
 		frozen: true,
+		ops:    d.ops, // shared: reads through snapshots count on the live DB
 	}
 	for i, p := range d.parts {
 		out.parts[i] = p.Snapshot()
@@ -247,11 +300,14 @@ func (f *fanRel) Len() int {
 
 // Scan calls fn for every live tuple, walking shards in index order.
 func (f *fanRel) Scan(fn func(t storage.Tuple) bool) {
+	ops := f.db.ops
+	ops.scans.Add(1)
 	stopped := false
-	for _, r := range f.parts {
+	for i, r := range f.parts {
 		if stopped {
 			return
 		}
+		ops.perShard[i].scans.Add(1)
 		r.Scan(func(t storage.Tuple) bool {
 			if !fn(t) {
 				stopped = true
@@ -265,17 +321,23 @@ func (f *fanRel) Scan(fn func(t storage.Tuple) bool) {
 // the shard-key column touches exactly one shard; any other lookup fans out
 // to every shard's local hash index.
 func (f *fanRel) Lookup(cols []int, vals []string, fn func(t storage.Tuple) bool) {
+	ops := f.db.ops
 	for i, c := range cols {
 		if c == f.keyIdx {
-			f.parts[f.db.ShardFor(f.name, vals[i])].Lookup(cols, vals, fn)
+			si := f.db.ShardFor(f.name, vals[i])
+			ops.prunedLookups.Add(1)
+			ops.perShard[si].lookups.Add(1)
+			f.parts[si].Lookup(cols, vals, fn)
 			return
 		}
 	}
+	ops.fanoutLookups.Add(1)
 	stopped := false
-	for _, r := range f.parts {
+	for i, r := range f.parts {
 		if stopped {
 			return
 		}
+		ops.perShard[i].lookups.Add(1)
 		r.Lookup(cols, vals, func(t storage.Tuple) bool {
 			if !fn(t) {
 				stopped = true

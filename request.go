@@ -8,6 +8,7 @@ import (
 	"citare/internal/cq"
 	"citare/internal/datalog"
 	"citare/internal/format"
+	"citare/internal/obs"
 	"citare/internal/sqlfe"
 	"citare/internal/storage"
 )
@@ -46,6 +47,14 @@ type Request struct {
 	// enumerating (and citing) a result nobody can page through. 0 means
 	// unbounded.
 	MaxTuples int
+
+	// Explain asks for a per-stage trace of the request's trip through the
+	// pipeline (parse, rewrite, compile, view materialization, eval,
+	// gather, render — with durations, counts, cache outcomes, the
+	// strategy chosen and per-shard timings), returned via
+	// Citation.Explain. Tracing never changes the citation itself; through
+	// a CachedCiter an Explain request bypasses the citation cache.
+	Explain bool
 }
 
 // parse validates the request shape and translates the query text into the
@@ -101,7 +110,23 @@ func (r Request) citeOptions() core.CiteOptions {
 // an error tagged ErrCanceled. All errors are tagged with the package's
 // taxonomy (ErrParse, ErrSchema, ErrCanceled, ErrLimit).
 func (c *Citer) Cite(ctx context.Context, req Request) (*Citation, error) {
+	// Explain: ensure a trace rides the context (reusing one the caller —
+	// e.g. citesrv's slow-query logger — already injected), bracket the
+	// parse in its own span, and attach the rendered report to the result.
+	var tr *obs.Trace
+	if req.Explain {
+		if tr, _ = obs.FromContext(ctx); tr == nil {
+			tr = obs.NewTrace()
+			ctx = obs.NewContext(ctx, tr, obs.NoSpan)
+		}
+	}
+	psp := obs.NoSpan
+	if tr != nil {
+		_, cur := obs.FromContext(ctx)
+		psp = tr.Start(cur, obs.StageParse)
+	}
 	q, err := req.parse(c.schema)
+	tr.End(psp)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +134,11 @@ func (c *Citer) Cite(ctx context.Context, req Request) (*Citation, error) {
 	if err != nil {
 		return nil, classify(err)
 	}
-	return &Citation{res: res, format: req.renderFormat()}, nil
+	ct := &Citation{res: res, format: req.renderFormat()}
+	if tr != nil {
+		ct.explain = explainFromReport(tr.Report())
+	}
+	return ct, nil
 }
 
 // Tuple is one answer tuple streamed by CiteEach, carrying its citation in
@@ -135,7 +164,13 @@ func (c *Citer) CiteEach(ctx context.Context, req Request, fn func(Tuple) error)
 	if fn == nil {
 		return fmt.Errorf("%w: CiteEach requires a callback", ErrParse)
 	}
+	// When a trace rides the context (citesrv's stream trailer), bracket
+	// the parse so per-stage totals cover the whole pipeline; Start no-ops
+	// on a nil trace.
+	tr, cur := obs.FromContext(ctx)
+	psp := tr.Start(cur, obs.StageParse)
 	q, err := req.parse(c.schema)
+	tr.End(psp)
 	if err != nil {
 		return err
 	}
