@@ -23,15 +23,17 @@ type batchGroup struct {
 // batchKey canonicalizes a parsed request for grouping: syntactic variants
 // of the same query — reordered bodies, renamed variables, redundant atoms —
 // share a key, suffixed with the options that can change the citation or
-// the error behavior (MaxRewritings, MaxTuples; Parallel only changes the
-// schedule, never the output). Unsatisfiable queries fall back to the raw
-// syntactic key — they are cheap to evaluate and need no sharing.
+// the error behavior (MaxRewritings, MaxTuples, and the resilience policy
+// knobs MinShardCoverage/ShardAttempts; Parallel only changes the schedule,
+// never the output). Unsatisfiable queries fall back to the raw syntactic
+// key — they are cheap to evaluate and need no sharing.
 func batchKey(q *cq.Query, req Request) string {
 	key, ok := cacheKey(q)
 	if !ok {
 		key = "unsat\x00" + q.Key()
 	}
-	return key + "\x00mr=" + strconv.Itoa(req.MaxRewritings) + "\x00mt=" + strconv.Itoa(req.MaxTuples)
+	return key + "\x00mr=" + strconv.Itoa(req.MaxRewritings) + "\x00mt=" + strconv.Itoa(req.MaxTuples) +
+		"\x00msc=" + strconv.Itoa(req.MinShardCoverage) + "\x00sa=" + strconv.Itoa(req.ShardAttempts)
 }
 
 // CiteBatch evaluates a batch of requests, amortizing work across them:
@@ -77,8 +79,18 @@ func (c *Citer) CiteBatch(ctx context.Context, reqs []Request) ([]*Citation, err
 
 	c.evalGroups(ctx, reqs, order, out, errs, true)
 
+	var partial *BatchError
 	for i, err := range errs {
 		if err != nil {
+			// A degraded group is a (qualified) success: every slot is
+			// filled, so the batch survives and the first partial is
+			// reported alongside the full slice.
+			if errors.Is(err, ErrPartial) {
+				if partial == nil {
+					partial = &BatchError{Index: i, Err: err}
+				}
+				continue
+			}
 			// Siblings canceled by the batch's own abort are collateral: the
 			// earliest non-cancellation failure is the one to report, when
 			// there is one.
@@ -89,6 +101,9 @@ func (c *Citer) CiteBatch(ctx context.Context, reqs []Request) ([]*Citation, err
 			}
 			return nil, &BatchError{Index: i, Err: err}
 		}
+	}
+	if partial != nil {
+		return out, partial
 	}
 	return out, nil
 }
@@ -126,6 +141,12 @@ func (c *Citer) evalGroups(ctx context.Context, reqs []Request, order []*batchGr
 					continue
 				}
 				out[i] = &Citation{res: res, format: reqs[i].renderFormat()}
+				// A degraded citation fills both slots: the Citation is
+				// usable, the *PartialError carries the Coverage report.
+				// Partial success never fail-fasts the batch.
+				if res.Coverage != nil && res.Coverage.Partial() {
+					errs[i] = &PartialError{Coverage: res.Coverage}
+				}
 			}
 			if err != nil && failFast {
 				cancelBatch()
@@ -136,12 +157,15 @@ func (c *Citer) evalGroups(ctx context.Context, reqs []Request, order []*batchGr
 }
 
 // BatchItem is one request's outcome in a per-item batch (CiteBatchItems):
-// exactly one of Citation and Err is set.
+// exactly one of Citation and Err is set — except for a degraded citation,
+// where Citation holds the usable partial result and Err is the
+// *PartialError carrying its Coverage report.
 type BatchItem struct {
 	// Citation is the request's citation; nil when the request failed.
 	Citation *Citation
 	// Err is the request's error, tagged with the package taxonomy
-	// (ErrParse, ErrSchema, ErrCanceled, ErrLimit); nil on success.
+	// (ErrParse, ErrSchema, ErrCanceled, ErrLimit, ErrShardUnavailable,
+	// ErrPartial); nil on full success.
 	Err error
 }
 
@@ -188,11 +212,12 @@ func (c *Citer) CiteBatchItems(ctx context.Context, reqs []Request) []BatchItem 
 	return items
 }
 
-// firstRealError returns the first batch error that is not a cancellation,
-// wrapped with its index — the failure that triggered the batch abort.
+// firstRealError returns the first batch error that is not a cancellation
+// (or a partial-coverage report, which never aborts a batch), wrapped with
+// its index — the failure that triggered the batch abort.
 func firstRealError(errs []error) *BatchError {
 	for i, err := range errs {
-		if err != nil && !errors.Is(err, ErrCanceled) {
+		if err != nil && !errors.Is(err, ErrCanceled) && !errors.Is(err, ErrPartial) {
 			return &BatchError{Index: i, Err: err}
 		}
 	}

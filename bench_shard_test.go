@@ -1,14 +1,17 @@
 package citare
 
-// B14–B16 — shard-scaling benchmarks: per-shard snapshot cost, pruned
-// point-lookup citations (a bound shard key touches one shard), and
-// scatter-gather join throughput vs the unsharded evaluator.
+// B14–B16, B20 — shard-scaling benchmarks: per-shard snapshot cost, pruned
+// point-lookup citations (a bound shard key touches one shard),
+// scatter-gather join throughput vs the unsharded evaluator, and the
+// hedging payoff against a straggling shard.
 
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"citare/internal/eval"
+	"citare/internal/fault"
 	"citare/internal/gtopdb"
 	"citare/internal/shard"
 	"citare/internal/workload"
@@ -118,6 +121,50 @@ func BenchmarkScatterGatherJoin(b *testing.B) {
 				out = len(res.Tuples)
 			}
 			b.ReportMetric(float64(out), "out-tuples")
+		})
+	}
+}
+
+// B20 — hedging against a straggler: scatter-gather citations with one of
+// four shards answering its first scan 10ms late. Without hedging every
+// request eats the full straggler latency; with hedging the duplicate scan
+// (which lands past the shard's slow budget and runs fast) wins after
+// HedgeAfter. The fault schedule resets per iteration so every request sees
+// the same one-slow-scan world.
+func BenchmarkHedgedStraggler(b *testing.B) {
+	const lag = 10 * time.Millisecond
+	db := gtopdb.PaperInstance()
+	const q = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`
+	for _, hedge := range []time.Duration{0, 2 * time.Millisecond} {
+		name := "hedge=off"
+		if hedge > 0 {
+			name = fmt.Sprintf("hedge=%s", hedge)
+		}
+		b.Run(name, func(b *testing.B) {
+			sdb, err := shard.FromDB(db, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+				WithResilience(ResilienceConfig{HedgeAfter: hedge, Seed: 20}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := fault.NewInjector(20)
+			c.Engine().SetShardWrapper(in.Wrap)
+			if err := c.Reset(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.CiteDatalog(q); err != nil { // materialize views once
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.SetFault(0, fault.ShardFault{Latency: lag, SlowOps: 1})
+				if _, err := c.CiteDatalog(q); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

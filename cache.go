@@ -74,13 +74,20 @@ func (c *CachedCiter) Cite(ctx context.Context, req Request) (*Citation, error) 
 	// of the new epoch. Option fields that change the output are part of
 	// the key; the render format is not (it only selects a renderer), so a
 	// hit is re-wrapped with this request's format.
-	key = fmt.Sprintf("%d|mr=%d|mt=%d|%s", c.epoch.Load(), req.MaxRewritings, req.MaxTuples, key)
+	key = optionsKey(c.epoch.Load(), req) + key
 	compute := func() (*Citation, error) {
 		res, err := c.citer.engine.CiteCtx(ctx, q, req.citeOptions())
 		if err != nil {
 			return nil, classify(err)
 		}
-		return &Citation{res: res, format: req.renderFormat()}, nil
+		ct := &Citation{res: res, format: req.renderFormat()}
+		// Degraded citations pair with a *PartialError; returning it as the
+		// compute error keeps them out of the cache (GetOrCompute stores
+		// nothing on error) while the leader still receives the Citation.
+		if res.Coverage != nil && res.Coverage.Partial() {
+			return ct, &PartialError{Coverage: res.Coverage}
+		}
+		return ct, nil
 	}
 	var ct *Citation
 	for attempt := 0; ; attempt++ {
@@ -99,7 +106,10 @@ func (c *CachedCiter) Cite(ctx context.Context, req Request) (*Citation, error) 
 			break
 		}
 	}
-	if err != nil {
+	// A degraded citation travels as (non-nil Citation, *PartialError) and
+	// is never cached — GetOrCompute stores nothing when compute errors, so
+	// the next request recomputes against shards that may be back.
+	if err != nil && (ct == nil || !errors.Is(err, ErrPartial)) {
 		return nil, err
 	}
 	if ct.format != req.renderFormat() {
@@ -107,7 +117,16 @@ func (c *CachedCiter) Cite(ctx context.Context, req Request) (*Citation, error) 
 		withFormat.format = req.renderFormat()
 		ct = &withFormat
 	}
-	return ct, nil
+	return ct, err
+}
+
+// optionsKey prefixes a citation-cache key with the cache epoch and every
+// request option that changes the citation or the error behavior. The
+// resilience policy knobs are included: a partial-tolerant request must
+// never collide with a strict one.
+func optionsKey(epoch uint64, req Request) string {
+	return fmt.Sprintf("%d|mr=%d|mt=%d|msc=%d|sa=%d|",
+		epoch, req.MaxRewritings, req.MaxTuples, req.MinShardCoverage, req.ShardAttempts)
 }
 
 // CiteBatch evaluates a batch through the cache: cached requests are served
@@ -136,7 +155,7 @@ func (c *CachedCiter) CiteBatch(ctx context.Context, reqs []Request) ([]*Citatio
 			missKeys = append(missKeys, "")
 			continue
 		}
-		key = fmt.Sprintf("%d|mr=%d|mt=%d|%s", epoch, req.MaxRewritings, req.MaxTuples, key)
+		key = optionsKey(epoch, req) + key
 		if ct, hit := c.entries.Get(key); hit {
 			if ct.format != req.renderFormat() {
 				withFormat := *ct
@@ -157,7 +176,7 @@ func (c *CachedCiter) CiteBatch(ctx context.Context, reqs []Request) ([]*Citatio
 		missReqs[j] = reqs[i]
 	}
 	computed, err := c.citer.CiteBatch(ctx, missReqs)
-	if err != nil {
+	if err != nil && (computed == nil || !errors.Is(err, ErrPartial)) {
 		var be *BatchError
 		if errors.As(err, &be) {
 			// Map the sub-batch index back to the original request slice.
@@ -167,9 +186,18 @@ func (c *CachedCiter) CiteBatch(ctx context.Context, reqs []Request) ([]*Citatio
 	}
 	for j, i := range missIdx {
 		out[i] = computed[j]
-		if missKeys[j] != "" {
+		// Degraded citations are never cached: the shards they are missing
+		// may answer the next request.
+		if missKeys[j] != "" && (computed[j].Coverage() == nil || !computed[j].Coverage().Partial()) {
 			c.entries.Put(missKeys[j], computed[j])
 		}
+	}
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			return out, &BatchError{Index: missIdx[be.Index], Err: be.Err}
+		}
+		return out, err
 	}
 	return out, nil
 }
@@ -200,7 +228,7 @@ func (c *CachedCiter) CiteBatchItems(ctx context.Context, reqs []Request) []Batc
 			missKeys = append(missKeys, "")
 			continue
 		}
-		key = fmt.Sprintf("%d|mr=%d|mt=%d|%s", epoch, req.MaxRewritings, req.MaxTuples, key)
+		key = optionsKey(epoch, req) + key
 		if ct, hit := c.entries.Get(key); hit {
 			if ct.format != req.renderFormat() {
 				withFormat := *ct

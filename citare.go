@@ -49,8 +49,9 @@
 //     POST /v1/cite/stream.
 //
 // Failures are classified by a typed taxonomy — ErrParse, ErrSchema,
-// ErrCanceled, ErrLimit — inspected with errors.Is; the original cause
-// (parser position errors, context errors) stays reachable via errors.As.
+// ErrCanceled, ErrLimit, ErrShardUnavailable, ErrPartial — inspected with
+// errors.Is; the original cause (parser position errors, context errors,
+// the *PartialError coverage report) stays reachable via errors.As.
 //
 // The old CiteSQL / CiteDatalog methods remain as deprecated one-line
 // wrappers over Cite with a background context.
@@ -107,6 +108,7 @@ import (
 
 	"citare/internal/core"
 	"citare/internal/datalog"
+	"citare/internal/eval"
 	"citare/internal/format"
 	"citare/internal/shard"
 	"citare/internal/storage"
@@ -123,6 +125,16 @@ type (
 	Interp = core.Interp
 	// CitationView is the (V, C_V, F_V) triple of Definition 2.1.
 	CitationView = core.CitationView
+	// ResilienceConfig tunes the fault-tolerant scatter-gather driver of a
+	// sharded Citer (WithResilience): per-shard attempt deadlines, bounded
+	// retries with backoff, hedged straggler attempts and circuit breakers.
+	ResilienceConfig = core.ResilienceConfig
+	// Coverage is the machine-readable shard-coverage report attached to
+	// citations computed by a resilient sharded Citer (Citation.Coverage,
+	// PartialError.Coverage).
+	Coverage = eval.Coverage
+	// ShardCoverage is one shard's outcome inside a Coverage report.
+	ShardCoverage = eval.ShardCoverage
 )
 
 // Interpretation constants.
@@ -143,10 +155,11 @@ type Citer struct {
 type Option func(*options)
 
 type options struct {
-	policy    Policy
-	policySet bool
-	neutral   []*format.Object
-	parallel  int
+	policy     Policy
+	policySet  bool
+	neutral    []*format.Object
+	parallel   int
+	resilience *ResilienceConfig
 }
 
 // WithPolicy replaces the default policy.
@@ -173,6 +186,18 @@ func WithParallelEval(n int) Option {
 	return func(o *options) { o.parallel = n }
 }
 
+// WithResilience arms a sharded Citer's scatter-gather evaluations with the
+// fault-tolerant driver: per-shard attempt deadlines, bounded retries with
+// exponential backoff and seeded jitter, optional hedged duplicate attempts
+// for stragglers, and per-shard circuit breakers shared across requests.
+// With zero faults the output stays byte-identical to the plain scatter
+// path. The zero ResilienceConfig enables the driver with defaults; on an
+// unsharded (or single-shard) Citer the option is inert. Degradation policy
+// is per request: see Request.MinShardCoverage.
+func WithResilience(cfg ResilienceConfig) Option {
+	return func(o *options) { o.resilience = &cfg }
+}
+
 // resolveOptions folds the option list into the effective policy and the
 // remaining knobs, shared by every Citer constructor.
 func resolveOptions(opts []Option) (Policy, options) {
@@ -196,6 +221,7 @@ func New(db *storage.DB, views []*CitationView, opts ...Option) (*Citer, error) 
 		return nil, err
 	}
 	engine.SetEvalParallelism(o.parallel)
+	engine.SetResilience(o.resilience)
 	return &Citer{engine: engine, schema: db.Schema()}, nil
 }
 
@@ -221,6 +247,7 @@ func NewSharded(sdb *shard.DB, views []*CitationView, opts ...Option) (*Citer, e
 		return nil, err
 	}
 	engine.SetEvalParallelism(o.parallel)
+	engine.SetResilience(o.resilience)
 	return &Citer{engine: engine, schema: sdb.Schema()}, nil
 }
 
@@ -375,6 +402,13 @@ func (ct *Citation) Format() string {
 	}
 	return ct.format
 }
+
+// Coverage returns the citation's shard-coverage report, or nil when the
+// Citer ran without resilience (or over a single shard). A non-nil report
+// with Partial() true accompanies an ErrPartial from Cite: some shards were
+// skipped under the request's MinShardCoverage policy and the citation may
+// be incomplete.
+func (ct *Citation) Coverage() *Coverage { return ct.res.Coverage }
 
 // NumTuples returns the number of answer tuples.
 func (ct *Citation) NumTuples() int { return len(ct.res.Tuples) }

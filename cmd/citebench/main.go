@@ -35,6 +35,7 @@ import (
 	"citare/internal/cq"
 	"citare/internal/datalog"
 	"citare/internal/eval"
+	"citare/internal/fault"
 	"citare/internal/gtopdb"
 	"citare/internal/obs"
 	"citare/internal/rewrite"
@@ -46,7 +47,7 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B19)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B20)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
 	regress := flag.String("regress", "", "compare committed bench JSON files OLD,...,NEW pairwise and report allocs/op regressions")
 	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
@@ -97,6 +98,7 @@ func main() {
 		{"B17", "batch throughput: CiteBatch vs independent Cite", runB17},
 		{"B18", "streamed vs materialized join: bytes/op and allocs/op", runB18},
 		{"B19", "instrumentation overhead: disabled vs metrics vs explain", runB19},
+		{"B20", "hedging payoff against a straggling shard", runB20},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -763,6 +765,66 @@ func runB19() error {
 	return nil
 }
 
+// runB20 measures the hedging payoff against a straggler: a scatter-gather
+// citation over four shards where one shard answers its first scan 10ms
+// late on every request. Unhedged, each citation waits out the full lag;
+// with HedgeAfter=2ms, a duplicate attempt (which lands past the shard's
+// slow budget and runs fast) wins long before the straggler answers.
+func runB20() error {
+	const lag = 10 * time.Millisecond
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 500
+	gdb := gtopdb.Generate(cfg)
+	const joinQ = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "type-01"`
+	bench := func(hedge time.Duration) (testing.BenchmarkResult, error) {
+		sdb, err := shard.FromDB(gdb, 4)
+		if err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		c, err := citare.NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+			citare.WithResilience(citare.ResilienceConfig{HedgeAfter: hedge, Seed: 20}))
+		if err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		in := fault.NewInjector(20)
+		c.Engine().SetShardWrapper(in.Wrap)
+		if err := c.Reset(); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		if _, err := c.CiteDatalog(joinQ); err != nil { // materialize views once
+			return testing.BenchmarkResult{}, err
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// SetFault resets the shard's op counter, so every iteration
+				// sees the same one-slow-scan world.
+				in.SetFault(0, fault.ShardFault{Latency: lag, SlowOps: 1})
+				if _, err := c.CiteDatalog(joinQ); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), nil
+	}
+	off, err := bench(0)
+	if err != nil {
+		return err
+	}
+	on, err := bench(2 * time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Println("   | hedging   |    ns/op |")
+	fmt.Println("   |-----------|---------:|")
+	fmt.Printf("   | off       | %8.0f |\n", float64(off.T.Nanoseconds())/float64(off.N))
+	fmt.Printf("   | after 2ms | %8.0f |\n", float64(on.T.Nanoseconds())/float64(on.N))
+	// The hedged path must dodge most of the straggler latency: anything
+	// short of a 2x speedup means the duplicate attempt never won.
+	if offNs, onNs := float64(off.T.Nanoseconds())/float64(off.N), float64(on.T.Nanoseconds())/float64(on.N); onNs*2 > offNs {
+		return fmt.Errorf("hedging payoff %.2fx, want ≥ 2x against a %v straggler", offNs/onNs, lag)
+	}
+	return nil
+}
+
 // allocRegressionTolerance is the allocs/op ratio (new/old) above which a
 // benchmark counts as regressed. Generous on purpose: allocation counts are
 // deterministic but small suites jitter a little with map layouts and LRU
@@ -912,6 +974,46 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	obsCiter.Engine().SetMetrics(obs.NewPipelineMetrics(obs.NewRegistry()))
+
+	// Resilient twins for the fault-tolerance entries: one fault-free (the
+	// resilience=on/off pair bounds the driver's hot-path overhead) and two
+	// with a scheduled straggler shard (the B20 hedging payoff pair). Each
+	// gets its own shard.FromDB so engines never share snapshot state.
+	resilientCiter := func(hedge time.Duration, in *fault.Injector) (*citare.Citer, error) {
+		rs, err := shard.FromDB(gdb, 4)
+		if err != nil {
+			return nil, err
+		}
+		c, err := citare.NewShardedFromProgram(rs, gtopdb.ViewsProgram,
+			citare.WithResilience(citare.ResilienceConfig{HedgeAfter: hedge, Seed: 20}))
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			c.Engine().SetShardWrapper(in.Wrap)
+			if err := c.Reset(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := c.CiteDatalog(joinQ); err != nil { // materialize views once
+			return nil, err
+		}
+		return c, nil
+	}
+	resilCiter, err := resilientCiter(0, nil)
+	if err != nil {
+		return err
+	}
+	hedgeOffIn := fault.NewInjector(20)
+	hedgeOffCiter, err := resilientCiter(0, hedgeOffIn)
+	if err != nil {
+		return err
+	}
+	hedgeOnIn := fault.NewInjector(20)
+	hedgeOnCiter, err := resilientCiter(2*time.Millisecond, hedgeOnIn)
+	if err != nil {
+		return err
+	}
 
 	mustCite := func(b *testing.B, c *citare.Citer, q string) {
 		if _, err := c.CiteDatalog(q); err != nil {
@@ -1076,6 +1178,36 @@ func writeBenchJSON(path string) error {
 			for i := 0; i < b.N; i++ {
 				c.Inc()
 				h.Observe(time.Duration(i))
+			}
+		}},
+		// Resilience-overhead pair: the same scatter-gather join with the
+		// resilient driver off vs on, zero faults injected — the fault
+		// tolerance must be near-free when nothing fails.
+		{"cite/gtopdb-join/shards=4/resilience=off", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustCite(b, shardedCiter, joinQ)
+			}
+		}},
+		{"cite/gtopdb-join/shards=4/resilience=on", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustCite(b, resilCiter, joinQ)
+			}
+		}},
+		// B20 — hedging payoff: one of four shards answers its first scan
+		// 10ms late every request (SetFault resets the shard's op counter, so
+		// each iteration sees the same one-slow-scan world). Without hedging
+		// every citation eats the straggler latency; with hedging the
+		// duplicate scan lands past the slow budget and wins after 2ms.
+		{"resilience/slow-shard-10ms/hedge=off/shards=4", func(b *testing.B) { // B20 baseline
+			for i := 0; i < b.N; i++ {
+				hedgeOffIn.SetFault(0, fault.ShardFault{Latency: 10 * time.Millisecond, SlowOps: 1})
+				mustCite(b, hedgeOffCiter, joinQ)
+			}
+		}},
+		{"resilience/slow-shard-10ms/hedge=2ms/shards=4", func(b *testing.B) { // B20
+			for i := 0; i < b.N; i++ {
+				hedgeOnIn.SetFault(0, fault.ShardFault{Latency: 10 * time.Millisecond, SlowOps: 1})
+				mustCite(b, hedgeOnCiter, joinQ)
 			}
 		}},
 	}

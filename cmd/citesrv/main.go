@@ -11,8 +11,9 @@
 //	GET  /stats            → cache, plan-cache + shard stats, uptime
 //	GET  /metrics          → Prometheus text exposition (0.0.4)
 //	GET  /v1/slow          → slow-query ring buffer, newest first
+//	GET  /v1/health        → readiness: shard breaker states, 503 when open
 //	GET  /debug/pprof/*    → runtime profiling
-//	GET  /healthz          → ok
+//	GET  /healthz          → ok (liveness)
 //
 // # v1 wire schema
 //
@@ -26,7 +27,9 @@
 //	  "parallel":       0,        // 1 = sequential, n > 1 caps the workers
 //	  "max_rewritings": 0,        // bound rewriting enumeration
 //	  "max_tuples":     0,        // bound the answer size; beyond it → 422
-//	  "explain":        false     // attach a per-stage pipeline trace
+//	  "explain":        false,    // attach a per-stage pipeline trace
+//	  "min_shard_coverage": 0,    // accept partial citations from >= k shards
+//	  "shard_attempts":     0     // per-shard attempt budget override
 //	}
 //
 // A successful response:
@@ -102,17 +105,38 @@
 //
 //	{"error": {"code": "parse", "message": "...", "index": 0}}
 //
-//	code       HTTP status
-//	parse      400  (bad query text, unknown format, bad request shape)
-//	schema     400  (query vs schema mismatch)
-//	timeout    408  (server -timeout or client deadline exceeded)
-//	canceled   499  (client went away mid-evaluation)
-//	limit      422  (max_tuples exceeded)
-//	internal   500
+//	code         HTTP status
+//	parse        400  (bad query text, unknown format, bad request shape)
+//	schema       400  (query vs schema mismatch)
+//	timeout      408  (server -timeout or client deadline exceeded)
+//	canceled     499  (client went away mid-evaluation)
+//	limit        422  (max_tuples exceeded)
+//	unavailable  503  (a shard stayed unreachable past its attempt budget)
+//	partial      206  (degraded citation accepted under min_shard_coverage)
+//	internal     500
 //
 // Every request runs under a context: the -timeout flag wraps each request
 // in a deadline, and a client disconnect cancels evaluation at the next
 // partition or frame boundary — a dead client stops burning cores.
+//
+// # Resilience
+//
+// With -shards N > 1 and -resilience (the default), scatter-gather
+// evaluation runs through the fault-tolerant driver: per-shard attempt
+// deadlines (-shard-attempt-timeout), bounded retries with jittered
+// exponential backoff (-shard-attempts), optional hedged duplicate scans
+// (-shard-hedge-after), and a per-shard circuit breaker
+// (-breaker-threshold, -breaker-cooldown) shared across requests. A shard
+// that stays unreachable past its budget fails the request with 503
+// "unavailable" — unless the request set "min_shard_coverage": k, in which
+// case a citation covering at least k shards is returned as 206 with a
+// "coverage" object naming the shards that answered, were pruned, or were
+// skipped (and, on /v1/cite/stream, the same object on the trailer line).
+// Breaker states are surfaced on /stats, on the /v1/health readiness
+// probe (503 once any breaker opens), and as citare_shard_* /metrics
+// series. On SIGTERM/SIGINT the server stops accepting connections and
+// drains in-flight requests — streams flush their trailers — bounded by
+// the -timeout grace period.
 //
 // All requests are served concurrently from one shared, cached citation
 // engine: the engine cites against an immutable database snapshot, and
@@ -153,13 +177,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"citare"
+	"citare/internal/eval"
 	"citare/internal/gtopdb"
 	"citare/internal/obs"
 	"citare/internal/shard"
@@ -196,18 +224,26 @@ type citeRequest struct {
 	MaxRewritings int    `json:"max_rewritings,omitempty"`
 	MaxTuples     int    `json:"max_tuples,omitempty"`
 	Explain       bool   `json:"explain,omitempty"`
+	// MinShardCoverage and ShardAttempts set the request's degradation
+	// policy on a resilient sharded server: accept a partial citation from
+	// at least k shards (206 + coverage), and override the per-shard attempt
+	// budget. Zero keeps the server defaults (full coverage required).
+	MinShardCoverage int `json:"min_shard_coverage,omitempty"`
+	ShardAttempts    int `json:"shard_attempts,omitempty"`
 }
 
 // request translates the wire form to the library's Request.
 func (r citeRequest) request() citare.Request {
 	return citare.Request{
-		SQL:           r.SQL,
-		Datalog:       r.Datalog,
-		Format:        r.Format,
-		Parallel:      r.Parallel,
-		MaxRewritings: r.MaxRewritings,
-		MaxTuples:     r.MaxTuples,
-		Explain:       r.Explain,
+		SQL:              r.SQL,
+		Datalog:          r.Datalog,
+		Format:           r.Format,
+		Parallel:         r.Parallel,
+		MaxRewritings:    r.MaxRewritings,
+		MaxTuples:        r.MaxTuples,
+		Explain:          r.Explain,
+		MinShardCoverage: r.MinShardCoverage,
+		ShardAttempts:    r.ShardAttempts,
 	}
 }
 
@@ -227,6 +263,9 @@ type citeResponse struct {
 	Citation    string          `json:"citation"`
 	Format      string          `json:"format"`
 	Explain     *citare.Explain `json:"explain,omitempty"`
+	// Coverage reports which shards contributed; present only on degraded
+	// (206) responses from a resilient sharded server.
+	Coverage *citare.Coverage `json:"coverage,omitempty"`
 }
 
 type batchRequest struct {
@@ -269,6 +308,10 @@ type streamTrailer struct {
 	// Error reports a stream that died after tuples were already written;
 	// absent on a complete stream.
 	Error *errorBody `json:"error,omitempty"`
+	// Coverage reports which shards contributed when the stream completed
+	// degraded (every delivered tuple is valid, skipped shards may have
+	// withheld others); absent on a full-coverage stream.
+	Coverage *citare.Coverage `json:"coverage,omitempty"`
 }
 
 // errorEnvelope is the v1 error wire form.
@@ -287,8 +330,8 @@ type errorBody struct {
 }
 
 // classifyStatus maps a tagged citare error to its HTTP status and wire
-// code: 400 parse/schema, 408 deadline, 499 client-gone, 422 limit, 500
-// anything untagged.
+// code: 400 parse/schema, 408 deadline, 499 client-gone, 422 limit, 503
+// shards unavailable, 206 partial citation, 500 anything untagged.
 func classifyStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, citare.ErrParse):
@@ -301,6 +344,10 @@ func classifyStatus(err error) (int, string) {
 		return http.StatusRequestTimeout, "timeout"
 	case errors.Is(err, citare.ErrCanceled):
 		return statusClientClosedRequest, "canceled"
+	case errors.Is(err, citare.ErrShardUnavailable):
+		return http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, citare.ErrPartial):
+		return http.StatusPartialContent, "partial"
 	}
 	return http.StatusInternalServerError, "internal"
 }
@@ -378,7 +425,11 @@ func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
 		ri.setTrace(tr)
 	}
 	res, err := s.citer.Cite(ctx, req.request())
-	if err != nil {
+	// A degraded citation travels as (non-nil Citation, *PartialError): the
+	// response body is the usable citation plus its coverage report, under
+	// 206 rather than 200. Every other error is terminal.
+	var partial *citare.PartialError
+	if err != nil && !(errors.As(err, &partial) && res != nil) {
 		writeError(w, r, err, -1)
 		return
 	}
@@ -392,6 +443,10 @@ func (s *server) handleCite(w http.ResponseWriter, r *http.Request) {
 		resp.Explain = res.Explain()
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if partial != nil {
+		resp.Coverage = partial.Coverage
+		w.WriteHeader(http.StatusPartialContent)
+	}
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("citesrv: encode: %v", err)
 	}
@@ -444,11 +499,20 @@ func (s *server) handleCiteStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	ri.setTuples(sent)
+	// A degraded stream still delivered every tuple it could; the partial
+	// report rides the trailer's coverage field, not the error path.
+	var partial *citare.PartialError
+	if errors.As(err, &partial) {
+		err = nil
+	}
 	if err != nil && sent == 0 {
 		writeError(w, r, err, -1)
 		return
 	}
 	trailer := streamTrailer{Tuples: sent, StageNs: tr.Report().StageTotalsNs()}
+	if partial != nil {
+		trailer.Coverage = partial.Coverage
+	}
 	if err != nil {
 		// The stream is already committed as 200 NDJSON; the trailer carries
 		// the typed error instead of a status line.
@@ -495,14 +559,25 @@ func (s *server) handleCiteBatch(w http.ResponseWriter, r *http.Request) {
 	uniform := 0 // shared status of every slot so far; -1 once they diverge
 	for i, item := range items {
 		itemErr := item.Err
-		if itemErr == nil {
+		// A degraded item carries both a usable Citation and a *PartialError:
+		// its slot gets the result with coverage under its own 206 status.
+		var partial *citare.PartialError
+		if itemErr != nil && errors.As(itemErr, &partial) && item.Citation != nil {
+			itemErr = nil
+		}
+		if itemErr == nil && item.Citation != nil {
 			shaped, err := respond(item.Citation)
 			if err == nil {
 				ri.addTuples(item.Citation.NumTuples())
-				resp.Results[i] = batchItemResult{Status: http.StatusOK, Result: &shaped}
+				status := http.StatusOK
+				if partial != nil {
+					shaped.Coverage = partial.Coverage
+					status = http.StatusPartialContent
+				}
+				resp.Results[i] = batchItemResult{Status: status, Result: &shaped}
 				if uniform == 0 {
-					uniform = http.StatusOK
-				} else if uniform != http.StatusOK {
+					uniform = status
+				} else if uniform != status {
 					uniform = -1
 				}
 				continue
@@ -555,6 +630,9 @@ type statsResponse struct {
 	LogicalPlans  planCacheStats `json:"logical_plans"`
 	PhysicalPlans planCacheStats `json:"physical_plans"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
+	// Breakers reports each shard's circuit-breaker state on a resilient
+	// sharded server; absent otherwise.
+	Breakers []eval.BreakerInfo `json:"breakers,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -577,7 +655,40 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if !s.start.IsZero() {
 		resp.UptimeSeconds = time.Since(s.start).Seconds()
 	}
+	resp.Breakers = eng.BreakerStates()
 	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("citesrv: encode: %v", err)
+	}
+}
+
+// healthResponse is the /v1/health readiness report.
+type healthResponse struct {
+	// Status is "ok" when every shard is reachable (or resilience is off),
+	// "degraded" when any breaker is open or half-open.
+	Status string `json:"status"`
+	// Breakers carries the per-shard circuit-breaker states on a resilient
+	// sharded server; absent otherwise.
+	Breakers []eval.BreakerInfo `json:"breakers,omitempty"`
+}
+
+// handleHealth serves GET /v1/health: a readiness probe that reflects the
+// shard circuit breakers. A server with an open breaker answers 503 — it is
+// still serving (partial-tolerant requests keep working) but a load
+// balancer should prefer a healthier replica. /healthz stays the dumb
+// liveness probe.
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := healthResponse{Status: "ok", Breakers: s.citer.Citer().Engine().BreakerStates()}
+	status := http.StatusOK
+	for _, b := range resp.Breakers {
+		if b.State != string(eval.BreakerClosed) {
+			resp.Status = "degraded"
+			status = http.StatusServiceUnavailable
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("citesrv: encode: %v", err)
 	}
@@ -597,6 +708,7 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/slow", s.handleSlow)
+	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -606,6 +718,37 @@ func (s *server) mux() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return s.withObservability(mux)
+}
+
+// serve runs the HTTP server on l until ctx is canceled, then drains
+// gracefully: the listener closes (new connections are refused), in-flight
+// requests — including NDJSON streams, which still flush their trailers —
+// get a bounded grace period to finish, and only then does the server exit.
+// The grace period is the per-request -timeout plus a small margin (a
+// request admitted just before shutdown may legitimately run that long), or
+// 30s when -timeout is 0.
+func (s *server) serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{Handler: s.mux()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	grace := 30 * time.Second
+	if s.timeout > 0 {
+		grace = s.timeout + 2*time.Second
+	}
+	log.Printf("citesrv: shutting down, draining in-flight requests (grace %v)", grace)
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		// Stragglers outlived the grace period; cut them off.
+		srv.Close()
+		return err
+	}
+	return nil
 }
 
 func main() {
@@ -619,6 +762,13 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
 		slowThr   = flag.Duration("slow-threshold", 500*time.Millisecond, "capture requests at least this slow in the /v1/slow ring (0 disables)")
 		slowCap   = flag.Int("slow-capacity", 128, "slow-query ring capacity")
+
+		resilience = flag.Bool("resilience", true, "fault-tolerant scatter-gather on sharded deployments (retries, breakers, partial citations)")
+		attemptTO  = flag.Duration("shard-attempt-timeout", 2*time.Second, "per-shard scan attempt deadline (resilient sharded only)")
+		attempts   = flag.Int("shard-attempts", 3, "per-shard attempt budget, first try included (resilient sharded only)")
+		hedgeAfter = flag.Duration("shard-hedge-after", 0, "duplicate a straggling shard scan after this long, first finisher wins (0 disables)")
+		brkThresh  = flag.Int("breaker-threshold", 3, "consecutive shard failures that open its circuit breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "cooldown before an open breaker probes the shard again")
 	)
 	flag.Parse()
 
@@ -671,6 +821,31 @@ func main() {
 		idPrefix:     fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
 	}
 	s.initObservability()
-	log.Printf("citesrv: listening on %s (request timeout %v)", *addr, *timeout)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+	// Resilience wires up after the registry exists so its retry/hedge/
+	// breaker counters land on /metrics. SetResilience is a pre-serving
+	// configuration call; no requests are in flight yet.
+	if *shards > 1 && *resilience {
+		citer.Engine().SetResilience(&citare.ResilienceConfig{
+			AttemptTimeout:   *attemptTO,
+			MaxAttempts:      *attempts,
+			HedgeAfter:       *hedgeAfter,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			Metrics:          obs.NewResilienceMetrics(s.reg),
+		})
+		log.Printf("citesrv: resilient scatter-gather enabled (attempt timeout %v, %d attempts, hedge %v, breaker %d/%v)",
+			*attemptTO, *attempts, *hedgeAfter, *brkThresh, *brkCool)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("citesrv: %v", err)
+	}
+	log.Printf("citesrv: listening on %s (request timeout %v)", l.Addr(), *timeout)
+	if err := s.serve(ctx, l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("citesrv: %v", err)
+	}
+	log.Printf("citesrv: drained, bye")
 }

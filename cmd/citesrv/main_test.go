@@ -2,9 +2,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -18,6 +20,8 @@ import (
 	"citare/internal/core"
 	"citare/internal/cq"
 	"citare/internal/datalog"
+	"citare/internal/eval"
+	"citare/internal/fault"
 	"citare/internal/format"
 	"citare/internal/gtopdb"
 	"citare/internal/shard"
@@ -494,6 +498,252 @@ func TestShardedServerParity(t *testing.T) {
 		if got := respond(testShardedServer(t, n)); got != want {
 			t.Fatalf("shards=%d response diverged:\n got %s\nwant %s", n, got, want)
 		}
+	}
+}
+
+// resilientTestServer builds a sharded server with the fault injector at the
+// shard-scan seam and the resilient driver tuned for fast tests: no real
+// backoff waits, a hair-trigger breaker that stays open once tripped.
+func resilientTestServer(t *testing.T, shards int, in *fault.Injector) *server {
+	t.Helper()
+	sdb, err := shard.FromDB(gtopdb.PaperInstance(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	citer, err := citare.NewShardedFromProgram(sdb, gtopdb.ViewsProgram,
+		citare.WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := citer.Engine()
+	eng.SetShardWrapper(in.Wrap)
+	eng.SetResilience(&citare.ResilienceConfig{
+		AttemptTimeout:   200 * time.Millisecond,
+		MaxAttempts:      2,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		Seed:             1,
+	})
+	// The shard wrapper applies to the next snapshot the engine takes;
+	// construction already built one, so cycle the epoch.
+	if err := citer.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	return &server{citer: citare.NewCached(citer), viewsProgram: gtopdb.ViewsProgram, shards: shards}
+}
+
+// TestResilientServerDegradation drives the partial-citation wire contract
+// end to end against a permanently dead shard: strict requests answer 503
+// "unavailable", the readiness probe and /stats surface the open breaker,
+// and min_shard_coverage requests get a 206 citation with its coverage
+// report — on /v1/cite, on the stream trailer, and in a batch slot.
+func TestResilientServerDegradation(t *testing.T) {
+	in := fault.NewInjector(1)
+	in.SetFault(1, fault.ShardFault{Permanent: true})
+	s := resilientTestServer(t, 3, in)
+	strict := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+	tolerant := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'", "min_shard_coverage": 2}`
+
+	// Default policy: full coverage required, the dead shard fails the
+	// request with the typed 503.
+	w := httptest.NewRecorder()
+	s.handleCite(w, httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(strict)))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("strict: status %d, want 503 (%s)", w.Code, w.Body.String())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "unavailable" {
+		t.Fatalf("strict: error code %q, want unavailable", env.Error.Code)
+	}
+
+	// The failure tripped shard 1's breaker; readiness flips to 503.
+	w = httptest.NewRecorder()
+	s.handleHealth(w, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("health: status %d, want 503 (%s)", w.Code, w.Body.String())
+	}
+	var health healthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || len(health.Breakers) != 3 {
+		t.Fatalf("health: %+v, want degraded with 3 breakers", health)
+	}
+	if health.Breakers[1].State != string(eval.BreakerOpen) {
+		t.Fatalf("health: shard 1 breaker %+v, want open", health.Breakers[1])
+	}
+
+	// /stats carries the same breaker snapshot.
+	w = httptest.NewRecorder()
+	s.handleStats(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats statsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Breakers) != 3 || stats.Breakers[1].State != string(eval.BreakerOpen) {
+		t.Fatalf("stats breakers: %+v, want shard 1 open", stats.Breakers)
+	}
+
+	// min_shard_coverage 2: the citation degrades instead of failing — 206
+	// with the coverage report naming the skipped shard.
+	w = httptest.NewRecorder()
+	s.handleCite(w, httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(tolerant)))
+	if w.Code != http.StatusPartialContent {
+		t.Fatalf("tolerant: status %d, want 206 (%s)", w.Code, w.Body.String())
+	}
+	var resp citeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Coverage == nil || resp.Coverage.Shards != 3 || resp.Coverage.Skipped < 1 {
+		t.Fatalf("tolerant: coverage %+v, want 3 shards with >= 1 skipped", resp.Coverage)
+	}
+	if resp.Citation == "" {
+		t.Fatal("tolerant: degraded response carries no citation")
+	}
+
+	// Same policy on the stream: 200 NDJSON, coverage rides the trailer.
+	w = httptest.NewRecorder()
+	s.handleCiteStream(w, httptest.NewRequest(http.MethodPost, "/v1/cite/stream", strings.NewReader(tolerant)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream: status %d (%s)", w.Code, w.Body.String())
+	}
+	_, trailer := decodeStream(t, w.Body.String())
+	if trailer.Error != nil || trailer.Coverage == nil || trailer.Coverage.Skipped < 1 {
+		t.Fatalf("stream trailer: %+v, want coverage with >= 1 skipped and no error", trailer)
+	}
+
+	// A batch mixes both policies: the strict slot fails 503, the tolerant
+	// slot degrades to 206 with its coverage, and the envelope stays 200.
+	batch := `{"requests": [` + strict + `, ` + tolerant + `]}`
+	w = httptest.NewRecorder()
+	s.handleCiteBatch(w, httptest.NewRequest(http.MethodPost, "/v1/cite/batch", strings.NewReader(batch)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: status %d (%s)", w.Code, w.Body.String())
+	}
+	var bresp batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &bresp); err != nil {
+		t.Fatal(err)
+	}
+	if bresp.Results[0].Status != http.StatusServiceUnavailable || bresp.Results[0].Error == nil || bresp.Results[0].Error.Code != "unavailable" {
+		t.Fatalf("batch slot 0: %+v, want 503 unavailable", bresp.Results[0])
+	}
+	if bresp.Results[1].Status != http.StatusPartialContent || bresp.Results[1].Result == nil || bresp.Results[1].Result.Coverage == nil {
+		t.Fatalf("batch slot 1: %+v, want 206 with coverage", bresp.Results[1])
+	}
+}
+
+// TestResilientServerRecovers: transient faults within the attempt budget
+// are retried to success — the response is 200 and byte-identical to an
+// unfaulted server's, and readiness stays ok.
+func TestResilientServerRecovers(t *testing.T) {
+	body := `{"sql": "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}`
+	want := httptest.NewRecorder()
+	testServer(t).handleCite(want, httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(body)))
+
+	in := fault.NewInjector(2)
+	in.SetFault(0, fault.ShardFault{FailOps: 1}) // first scan fails, retry lands
+	s := resilientTestServer(t, 3, in)
+	w := httptest.NewRecorder()
+	s.handleCite(w, httptest.NewRequest(http.MethodPost, "/v1/cite", strings.NewReader(body)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d (%s)", w.Code, w.Body.String())
+	}
+	if w.Body.String() != want.Body.String() {
+		t.Fatalf("retried response diverged:\n got %s\nwant %s", w.Body.String(), want.Body.String())
+	}
+	h := httptest.NewRecorder()
+	s.handleHealth(h, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if h.Code != http.StatusOK {
+		t.Fatalf("health after recovery: status %d (%s)", h.Code, h.Body.String())
+	}
+}
+
+// TestHandleHealthUnsharded: without resilience the readiness probe is a
+// plain ok with no breaker section.
+func TestHandleHealthUnsharded(t *testing.T) {
+	w := httptest.NewRecorder()
+	testServer(t).handleHealth(w, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"status":"ok"`) {
+		t.Fatalf("status %d body %s, want 200 ok", w.Code, w.Body.String())
+	}
+}
+
+// TestServeGracefulShutdownUnderLoad: canceling serve's context (the SIGTERM
+// path) closes the listener promptly — new connections are refused — while
+// an in-flight NDJSON stream keeps running to completion, trailer included,
+// before serve returns.
+func TestServeGracefulShutdownUnderLoad(t *testing.T) {
+	const rows = 6
+	var renders atomic.Int64
+	gate := make(chan struct{})
+	s := hookedServer(t, rows, func() {
+		if renders.Add(1) > 1 {
+			<-gate
+		}
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.serve(ctx, l) }()
+
+	resp, err := http.Post("http://"+l.Addr().String()+"/v1/cite/stream", "application/json",
+		strings.NewReader(`{"datalog": "Q(A, B) :- R(A, B)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n') // stream is mid-flight, blocked on the gate
+	if err != nil {
+		close(gate)
+		t.Fatal(err)
+	}
+
+	cancel() // the SIGTERM path: stop accepting, drain in-flight
+
+	// The listener closes promptly even though a stream is still draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, derr := net.Dial("tcp", l.Addr().String())
+		if derr != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			close(gate)
+			t.Fatal("listener still accepting after shutdown began")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		close(gate)
+		t.Fatalf("serve returned (%v) with a stream still in flight", err)
+	default:
+	}
+
+	close(gate) // release the renders; the drain completes the stream
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, trailer := decodeStream(t, first+string(rest))
+	if len(tuples) != rows || trailer.Tuples != rows || trailer.Error != nil {
+		t.Fatalf("drained stream: %d tuples, trailer %+v; want %d complete", len(tuples), trailer, rows)
+	}
+	resp.Body.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }
 

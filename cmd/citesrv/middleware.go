@@ -108,7 +108,7 @@ func (w *statusWriter) Flush() {
 func routeLabel(path string) string {
 	switch path {
 	case "/v1/cite", "/v1/cite/stream", "/v1/cite/batch", "/cite",
-		"/views", "/stats", "/metrics", "/v1/slow", "/healthz":
+		"/views", "/stats", "/metrics", "/v1/slow", "/v1/health", "/healthz":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {

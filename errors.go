@@ -45,7 +45,39 @@ var (
 	// ErrRange tags out-of-range index accesses on new-style Citation
 	// accessors (TuplePolynomialAt, TupleCitationJSONAt).
 	ErrRange = errors.New("citare: index out of range")
+	// ErrShardUnavailable tags requests that failed because one or more
+	// shards of a resilient sharded engine stayed unreachable after their
+	// attempt budget and the request required full coverage (the default).
+	// The eval-level *eval.UnavailableError (with its Coverage report) stays
+	// reachable via errors.As.
+	ErrShardUnavailable = errors.New("citare: shard unavailable")
+	// ErrPartial tags citations computed under a degraded-coverage policy:
+	// the request set MinShardCoverage, some shards were skipped, and the
+	// returned Citation — which is still valid for the shards that answered —
+	// may be incomplete. Returned alongside a non-nil Citation as a
+	// *PartialError carrying the machine-readable Coverage report.
+	ErrPartial = errors.New("citare: partial citation")
 )
+
+// PartialError reports a degraded citation: the request allowed partial
+// shard coverage and some shards were skipped. It accompanies a usable,
+// possibly incomplete Citation; Coverage details which shards answered,
+// were pruned, or were skipped, and the attempt economics.
+type PartialError struct {
+	// Coverage is the request's merged shard-coverage report.
+	Coverage *Coverage
+}
+
+func (e *PartialError) Error() string {
+	if e.Coverage == nil {
+		return ErrPartial.Error()
+	}
+	return fmt.Sprintf("citare: partial citation: %d of %d shards skipped",
+		e.Coverage.Skipped, e.Coverage.Shards)
+}
+
+// Unwrap exposes ErrPartial to errors.Is.
+func (e *PartialError) Unwrap() error { return ErrPartial }
 
 // BatchError reports which request of a CiteBatch failed first. It wraps
 // the underlying tagged error, so errors.Is sees through it.
@@ -66,7 +98,8 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // tagged reports whether err already carries one of the taxonomy sentinels.
 func tagged(err error) bool {
 	return errors.Is(err, ErrParse) || errors.Is(err, ErrSchema) ||
-		errors.Is(err, ErrCanceled) || errors.Is(err, ErrLimit) || errors.Is(err, ErrRange)
+		errors.Is(err, ErrCanceled) || errors.Is(err, ErrLimit) || errors.Is(err, ErrRange) ||
+		errors.Is(err, ErrShardUnavailable) || errors.Is(err, ErrPartial)
 }
 
 // classify tags an engine- or evaluation-level error with the matching
@@ -84,6 +117,8 @@ func classify(err error) error {
 		return fmt.Errorf("%w: %w", ErrLimit, err)
 	case errors.Is(err, eval.ErrSchema):
 		return fmt.Errorf("%w: %w", ErrSchema, err)
+	case errors.Is(err, eval.ErrShardUnavailable):
+		return fmt.Errorf("%w: %w", ErrShardUnavailable, err)
 	}
 	var sqlErr *sqlfe.Error
 	var dlErr *datalog.Error

@@ -25,7 +25,8 @@ type Stats struct {
 	Misses    uint64
 	Evictions uint64
 	// Waits counts GetOrCompute callers that joined another caller's
-	// in-flight computation (singleflight). Every wait is also a hit, so
+	// in-flight computation (singleflight). A wait on a flight that
+	// succeeds also counts as a hit, so with error-free computes
 	// Waits <= Hits; a high ratio means heavy duplicate-key contention.
 	Waits uint64
 }
@@ -116,27 +117,42 @@ func (c *Sharded[V]) Put(key string, v V) {
 // GetOrCompute returns the cached value for key, computing and caching it
 // on a miss. Concurrent callers missing on the same key share a single
 // computation: one runs compute, the rest block until it finishes. Errors
-// are returned to every waiter and are not cached. Waiters that join an
-// in-flight computation count as hits (they did not pay for a compute)
-// and additionally as Waits. The returned bool reports whether the value
-// was served without running compute in this call (cache hit or joined
-// flight).
+// are never cached, and they are never inherited either: a leader's failure
+// may be private to its own request (context cancellation, a transient
+// shard fault), so each waiter of a failed flight loops back and computes
+// for itself instead of surfacing someone else's error. Waiters that join
+// a flight count as Waits; joining a flight that succeeds additionally
+// counts as a hit (the caller did not pay for a compute). The returned
+// bool reports whether the value was served without running compute in
+// this call (cache hit or joined successful flight).
 func (c *Sharded[V]) GetOrCompute(key string, compute func() (V, error)) (V, bool, error) {
 	s := c.shard(key)
 	s.mu.Lock()
-	if e, ok := s.m[key]; ok {
-		s.moveToFront(e)
-		s.stats.Hits++
-		v := e.val
-		s.mu.Unlock()
-		return v, true, nil
-	}
-	if cl, ok := s.inflight[key]; ok {
-		s.stats.Hits++
+	for {
+		if e, ok := s.m[key]; ok {
+			s.moveToFront(e)
+			s.stats.Hits++
+			v := e.val
+			s.mu.Unlock()
+			return v, true, nil
+		}
+		cl, ok := s.inflight[key]
+		if !ok {
+			break
+		}
 		s.stats.Waits++
 		s.mu.Unlock()
 		<-cl.done
-		return cl.val, true, cl.err
+		if cl.err == nil {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			return cl.val, true, nil
+		}
+		// The flight failed. Its error belongs to the leader's request, not
+		// ours — retry: the key may have been filled meanwhile, another
+		// flight may be up, or we become the new leader.
+		s.mu.Lock()
 	}
 	cl := &call[V]{done: make(chan struct{})}
 	s.inflight[key] = cl

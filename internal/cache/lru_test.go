@@ -92,6 +92,66 @@ func TestGetOrComputeErrorNotCached(t *testing.T) {
 	}
 }
 
+// TestGetOrComputeWaitersNotPoisoned: a waiter joining a flight whose
+// leader fails (e.g. the leader's request was canceled, or it hit a
+// transient shard fault) must never inherit the leader's error — it
+// retries with its own compute and succeeds.
+func TestGetOrComputeWaitersNotPoisoned(t *testing.T) {
+	c := NewSharded[int](1, 4)
+	boom := errors.New("transient: leader-private failure")
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.GetOrCompute("k", func() (int, error) {
+			close(leaderIn)
+			<-leaderGo
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("leader err = %v, want its own failure", err)
+		}
+	}()
+	<-leaderIn
+
+	// 8 waiters pile onto the in-flight computation before it fails.
+	var waiterComputes atomic.Int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("k", func() (int, error) {
+				waiterComputes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("waiter inherited error %v", err)
+			}
+			if v != 42 {
+				t.Errorf("waiter got %d, want 42", v)
+			}
+		}()
+	}
+	// Give the waiters a chance to join the flight, then fail it.
+	for {
+		if c.Stats().Waits > 0 {
+			break
+		}
+	}
+	close(leaderGo)
+	wg.Wait()
+
+	if n := waiterComputes.Load(); n < 1 {
+		t.Fatal("no waiter recomputed after the leader's failure")
+	}
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("cache holds %v/%v, want the waiters' 42", v, ok)
+	}
+}
+
 func TestPurgePreservesCounters(t *testing.T) {
 	c := NewSharded[int](2, 8)
 	c.Put("a", 1)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -85,6 +86,16 @@ type Engine struct {
 	// per-stage latency histograms from every cite. nil (the default)
 	// disables all metric timing.
 	metrics *obs.PipelineMetrics
+
+	// resilience, when attached via SetResilience on a multi-shard engine,
+	// arms snapshot evaluations with the fault-tolerant scatter driver;
+	// breakers are its per-shard circuit breakers, shared across requests.
+	resilience *ResilienceConfig
+	breakers   *eval.Breakers
+
+	// shardWrap, when set via SetShardWrapper, wraps each new snapshot of
+	// the partitioned database — the fault injector's seam.
+	shardWrap func(eval.ShardScanner) eval.ShardScanner
 
 	epochCtr atomic.Uint64 // allocates unique epochs across concurrent Resets
 
@@ -245,6 +256,17 @@ type CiteOptions struct {
 	// past the bound the evaluation aborts with eval.ErrTupleLimit instead
 	// of burning through the rest of the enumeration. 0 means unbounded.
 	MaxTuples int
+	// MinShardCoverage sets the request's degradation policy on a sharded
+	// engine with resilience enabled. 0 (the default) requires full shard
+	// coverage: a shard still unreachable after its attempt budget fails
+	// the request with eval.ErrShardUnavailable. A value k > 0 accepts a
+	// partial citation as long as at least k shards contributed; skipped
+	// shards are reported in Result.Coverage. Ignored without resilience.
+	MinShardCoverage int
+	// ShardAttempts overrides the engine resilience configuration's
+	// per-shard attempt budget for this request; 0 keeps the configured
+	// budget. Ignored without resilience.
+	ShardAttempts int
 }
 
 // curState returns the engine's current epoch state.
@@ -318,7 +340,14 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 				return nil, ierr
 			}
 		}
-		st.snap = shardedTarget(snap).cached(e)
+		// The optional wrapper (fault injection) applies to the snapshot
+		// only: the execution database is engine-local scratch, not the
+		// shard backend the fault model describes.
+		var view eval.Partitioned = snap
+		if e.shardWrap != nil {
+			view = e.shardWrap(snap)
+		}
+		st.snap = shardedTarget(view).cached(e)
 		st.exec = shardedTarget(exec).cached(e)
 		st.execIns = exec
 		return st, nil
@@ -384,10 +413,20 @@ func (e *Engine) viewsUsed(rewritings []*rewrite.Rewriting) ([]*CitationView, er
 // is safe: each view evaluates fully before its first insert, so a canceled
 // request leaves that relation empty and unflagged — the next request simply
 // materializes it again.
-func (e *Engine) materializeViews(ctx context.Context, st *engineState, views []*CitationView) error {
+//
+// Views always require full shard coverage — a partially materialized view
+// would poison every later request of the epoch — so resil's degradation
+// policy is stripped for the evaluation itself. When the request allows
+// partial coverage, a view whose shards are unreachable is skipped (left
+// unmaterialized, returned by name) instead of failing the request; the
+// caller drops the rewritings that reference it.
+func (e *Engine) materializeViews(ctx context.Context, st *engineState, views []*CitationView, resil *eval.Resilience) (skipped []string, err error) {
 	if len(views) == 0 {
-		return nil
+		return nil, nil
 	}
+	allowSkip := resil != nil && resil.MinShardCoverage > 0
+	opts := e.evalOpts()
+	opts.Resilience = fullCoverage(resil)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	tr, cur := obs.FromContext(ctx)
@@ -404,23 +443,29 @@ func (e *Engine) materializeViews(ctx context.Context, st *engineState, views []
 			tr.SetStr(vsp, "view", v.Name())
 			vctx = obs.NewContext(ctx, tr, vsp)
 		}
-		res, err := st.snap.eval(vctx, v.Def, e.evalOpts())
+		res, err := st.snap.eval(vctx, v.Def, opts)
 		if err != nil {
+			if allowSkip && errors.Is(err, eval.ErrShardUnavailable) {
+				skipped = append(skipped, v.Name())
+				tr.SetStr(vsp, "skipped", "shards unavailable")
+				tr.End(vsp)
+				continue
+			}
 			tr.End(vsp)
-			return fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
+			return nil, fmt.Errorf("core: materializing view %s: %w", v.Name(), err)
 		}
 		rel := viewRelPrefix + v.Name()
 		for _, t := range res.Tuples {
 			if err := st.execIns.Insert(rel, t...); err != nil {
 				tr.End(vsp)
-				return err
+				return nil, err
 			}
 		}
 		st.materialized[v.Name()] = true
 		tr.SetInt(vsp, "tuples", int64(len(res.Tuples)))
 		tr.End(vsp)
 	}
-	return nil
+	return skipped, nil
 }
 
 // RewritingCitation is the citation polynomial a single rewriting assigns to
@@ -462,6 +507,12 @@ type Result struct {
 	// Citation is the aggregated citation for the entire result set,
 	// including the policy's neutral citations.
 	Citation format.Value
+	// Coverage reports the shard coverage of the request's snapshot
+	// evaluations when the engine ran with resilience enabled; nil
+	// otherwise. Coverage.Partial() true means some shards were skipped
+	// under the request's MinShardCoverage policy and the citation may be
+	// incomplete.
+	Coverage *eval.Coverage
 }
 
 // Cite computes the citation for a query: rewritings are enumerated
@@ -550,8 +601,14 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 	// per-tuple, so a result too large to return is aborted before any
 	// rewriting work happens.
 	st := e.curState()
+	resil := e.resilienceFor(o)
+	var cov *eval.Coverage
+	if resil != nil {
+		cov = resil.Coverage
+	}
 	outOpts := e.requestOpts(o)
 	outOpts.MaxTuples = o.MaxTuples
+	outOpts.Resilience = resil
 	ev := ob.begin(obs.StageEval)
 	out, err := st.snap.eval(ob.ctxFor(ctx, ev), min, outOpts)
 	ob.end(ev)
@@ -573,11 +630,21 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 		return nil, err
 	}
 	vs := ob.begin(obs.StageViews)
-	err = e.materializeViews(ob.ctxFor(ctx, vs), st, views)
+	skippedViews, err := e.materializeViews(ob.ctxFor(ctx, vs), st, views, resil)
 	ob.end(vs)
 	if err != nil {
 		return nil, err
 	}
+	if len(skippedViews) > 0 {
+		cov.SkippedViews = append(cov.SkippedViews, skippedViews...)
+		rewritings = dropRewritingsUsing(rewritings, skippedViews)
+		res.Rewritings = rewritings
+	}
+
+	// Partial coverage in effect: a rewriting over completely materialized
+	// views can legitimately produce tuples the degraded output eval never
+	// saw. Skip those strays instead of tripping the invariant guard.
+	degraded := cov != nil && cov.Partial()
 
 	gs := ob.begin(obs.StageGather)
 	for _, r := range rewritings {
@@ -597,6 +664,9 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 		for k, p := range polys {
 			tc := perTuple[k]
 			if tc == nil {
+				if degraded {
+					continue
+				}
 				// A certified rewriting cannot produce extra tuples; guard
 				// anyway to surface bugs instead of silently diverging.
 				ob.end(gs)
@@ -613,13 +683,14 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 	// Rendering cancels per tuple and, inside a tuple, per token.
 	rd := ob.begin(obs.StageRender)
 	rdCtx := ob.ctxFor(ctx, rd)
+	ro := renderOptsFor(resil)
 	for _, k := range order {
 		if err := ctx.Err(); err != nil {
 			ob.end(rd)
 			return nil, err
 		}
 		tc := perTuple[k]
-		if err := e.combineTuple(rdCtx, st, tc); err != nil {
+		if err := e.combineTuple(rdCtx, st, ro, tc); err != nil {
 			ob.end(rd)
 			return nil, err
 		}
@@ -627,6 +698,7 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 	}
 	ob.end(rd)
 	res.Citation = e.aggregate(res.Tuples)
+	res.Coverage = cov
 	return res, nil
 }
 
@@ -861,7 +933,7 @@ func (e *Engine) normalizePolys(polys map[string]provenance.Poly) {
 // combined polynomial and rendered under the policy's interpretations.
 // Rendering honors ctx: a canceled request aborts between tokens instead of
 // rendering the rest of the tuple's citation.
-func (e *Engine) combineTuple(ctx context.Context, st *engineState, tc *TupleCitation) error {
+func (e *Engine) combineTuple(ctx context.Context, st *engineState, ro renderOpts, tc *TupleCitation) error {
 	ps := make([]provenance.Poly, len(tc.PerRewriting))
 	for i, rc := range tc.PerRewriting {
 		ps[i] = rc.Poly
@@ -876,7 +948,7 @@ func (e *Engine) combineTuple(ctx context.Context, st *engineState, tc *TupleCit
 	}
 	combined = e.policy.Orders.NormalForm(combined)
 	tc.Combined = combined
-	rendered, err := e.renderTuple(ctx, st, tc)
+	rendered, err := e.renderTuple(ctx, st, ro, tc)
 	if err != nil {
 		return err
 	}
@@ -887,13 +959,13 @@ func (e *Engine) combineTuple(ctx context.Context, st *engineState, tc *TupleCit
 // renderTuple renders a tuple's citation: per kept rewriting, monomials
 // render as ·-combinations of token citations and are +-combined; the kept
 // rewritings are +R-combined. Cancellation fires between tokens.
-func (e *Engine) renderTuple(ctx context.Context, st *engineState, tc *TupleCitation) (format.Value, error) {
+func (e *Engine) renderTuple(ctx context.Context, st *engineState, ro renderOpts, tc *TupleCitation) (format.Value, error) {
 	var perRewriting []format.Value
 	for _, i := range tc.Kept {
 		p := tc.PerRewriting[i].Poly
 		var monoVals []format.Value
 		for _, m := range p.Monomials() {
-			v, err := e.renderMonomial(ctx, st, m)
+			v, err := e.renderMonomial(ctx, st, ro, m)
 			if err != nil {
 				return format.Value{}, err
 			}
@@ -905,10 +977,10 @@ func (e *Engine) renderTuple(ctx context.Context, st *engineState, tc *TupleCita
 }
 
 // renderMonomial renders the ·-combination of a monomial's token citations.
-func (e *Engine) renderMonomial(ctx context.Context, st *engineState, m provenance.Monomial) (format.Value, error) {
+func (e *Engine) renderMonomial(ctx context.Context, st *engineState, ro renderOpts, m provenance.Monomial) (format.Value, error) {
 	var vals []format.Value
 	for _, pt := range m.Support() {
-		obj, err := e.renderTokenCached(ctx, st, pt)
+		obj, err := e.renderTokenCached(ctx, st, ro, pt)
 		if err != nil {
 			return format.Value{}, err
 		}
@@ -924,20 +996,31 @@ func (e *Engine) renderMonomial(ctx context.Context, st *engineState, m provenan
 // state epoch so a Cite racing a Reset can never serve a rendering from a
 // different snapshot.
 //
-// ctx gates entry per token: a canceled request stops before starting the
-// next token's rendering, so cancellation fires during the render phase of a
-// view-heavy citation, not just at eval frame boundaries. Each individual
-// token still renders to completion on a background context once started —
-// the result lands in the shared singleflight cache, and one caller's
-// cancellation must not poison the rendering its concurrent waiters share.
-func (e *Engine) renderTokenCached(ctx context.Context, st *engineState, pt provenance.Token) (*format.Object, error) {
+// ctx gates entry per token and flows into the citation-query evaluation,
+// so a canceled request aborts its own rendering mid-token. Per-request
+// failures — cancellation, attempt deadlines, unreachable shards — are
+// returned to the caller and never cached: the singleflight layer below
+// retries waiters of a failed flight instead of handing them the leader's
+// error, so one doomed request cannot poison the rendering its concurrent
+// waiters share. Deterministic rendering failures still cache as embedded
+// error records. Under a partial-coverage policy (ro.degraded) a token
+// whose shards stay unreachable renders as an explicit per-request
+// Unavailable record, outside the cache — the shards may be back for the
+// next request.
+func (e *Engine) renderTokenCached(ctx context.Context, st *engineState, ro renderOpts, pt provenance.Token) (*format.Object, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	key := strconv.FormatUint(st.epoch, 10) + "|" + string(pt)
-	obj, hit, _ := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
-		return e.renderToken(st, pt), nil
+	obj, hit, err := e.tokenCache.GetOrCompute(key, func() (*format.Object, error) {
+		return e.renderToken(ctx, st, ro, pt)
 	})
+	if err != nil {
+		if ro.degraded && errors.Is(err, eval.ErrShardUnavailable) {
+			return unavailableToken(pt, err), nil
+		}
+		return nil, err
+	}
 	if tr, sp := obs.FromContext(ctx); tr != nil {
 		if hit {
 			tr.AddInt(sp, "token_cache_hits", 1)
@@ -948,25 +1031,32 @@ func (e *Engine) renderTokenCached(ctx context.Context, st *engineState, pt prov
 	return obj, nil
 }
 
-func (e *Engine) renderToken(st *engineState, pt provenance.Token) *format.Object {
+// renderToken renders one token's citation record. The returned error is
+// per-request (cancellation, deadline, unavailable shards) and must not be
+// cached; every deterministic failure is embedded in the record itself.
+func (e *Engine) renderToken(ctx context.Context, st *engineState, ro renderOpts, pt provenance.Token) (*format.Object, error) {
 	tok, err := DecodeToken(pt)
 	if err != nil {
-		return format.NewObject().Set("InvalidToken", format.S(string(pt)))
+		return format.NewObject().Set("InvalidToken", format.S(string(pt))), nil
 	}
 	if tok.Kind == RelToken {
-		return format.NewObject().Set("UncitedRelation", format.S(tok.Name))
+		return format.NewObject().Set("UncitedRelation", format.S(tok.Name)), nil
 	}
 	v := e.byName[tok.Name]
 	if v == nil {
-		return format.NewObject().Set("UnknownView", format.S(tok.Name))
+		return format.NewObject().Set("UnknownView", format.S(tok.Name)), nil
 	}
-	obj, err := v.renderTokenOn(st.snap, tok)
+	opts := eval.Options{Resilience: ro.resil}
+	obj, err := v.renderTokenCtx(ctx, st.snap, tok, opts)
 	if err != nil {
+		if transientRenderErr(err) {
+			return nil, err
+		}
 		return format.NewObject().
 			Set("View", format.S(tok.Name)).
-			Set("Error", format.S(err.Error()))
+			Set("Error", format.S(err.Error())), nil
 	}
-	return obj
+	return obj, nil
 }
 
 // aggregate applies Agg across tuple citations and injects the policy's

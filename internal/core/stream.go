@@ -80,8 +80,14 @@ func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, eac
 	res = &Result{Query: min, Rewritings: rewritings, Columns: headColumns(min)}
 
 	st := e.curState()
+	resil := e.resilienceFor(o)
+	var cov *eval.Coverage
+	if resil != nil {
+		cov = resil.Coverage
+	}
 	outOpts := e.requestOpts(o)
 	outOpts.MaxTuples = o.MaxTuples
+	outOpts.Resilience = resil
 
 	ev := ob.begin(obs.StageEval)
 	keys, perKey, err := e.streamOutput(ob.ctxFor(ctx, ev), st, min, outOpts)
@@ -96,11 +102,23 @@ func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, eac
 		return nil, err
 	}
 	vs := ob.begin(obs.StageViews)
-	err = e.materializeViews(ob.ctxFor(ctx, vs), st, views)
+	skippedViews, err := e.materializeViews(ob.ctxFor(ctx, vs), st, views, resil)
 	ob.end(vs)
 	if err != nil {
 		return nil, err
 	}
+	if len(skippedViews) > 0 {
+		cov.SkippedViews = append(cov.SkippedViews, skippedViews...)
+		rewritings = dropRewritingsUsing(rewritings, skippedViews)
+		res.Rewritings = rewritings
+	}
+
+	// Partial coverage in effect: a rewriting over completely materialized
+	// views can legitimately produce tuples the degraded output eval never
+	// saw. gatherRewriting skips those strays instead of tripping its
+	// invariant guard.
+	degraded := cov != nil && cov.Partial()
+
 	gs := ob.begin(obs.StageGather)
 	for _, r := range rewritings {
 		rctx := ctx
@@ -110,7 +128,7 @@ func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, eac
 			ob.tr.SetStr(rsp, "rewriting", r.String())
 			rctx = obs.NewContext(ctx, ob.tr, rsp)
 		}
-		err := e.gatherRewriting(rctx, st, o, r, perKey)
+		err := e.gatherRewriting(rctx, st, o, r, perKey, degraded)
 		ob.tr.End(rsp)
 		if err != nil {
 			ob.end(gs)
@@ -126,6 +144,7 @@ func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, eac
 	// callback (and its backpressure) must not count as render cost — and
 	// recorded as one completed span at the end of the stream.
 	var renderDur time.Duration
+	ro := renderOptsFor(resil)
 	for _, k := range keys {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -136,7 +155,7 @@ func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, eac
 		if ob.enabled() {
 			t0 = time.Now()
 		}
-		if err := e.combineTuple(ctx, st, tc); err != nil {
+		if err := e.combineTuple(ctx, st, ro, tc); err != nil {
 			return nil, err
 		}
 		if ob.enabled() {
@@ -148,6 +167,7 @@ func (e *Engine) citeStream(ctx context.Context, q *cq.Query, o CiteOptions, eac
 		}
 	}
 	ob.record(obs.StageRender, renderDur)
+	res.Coverage = cov
 	return res, nil
 }
 
@@ -198,7 +218,9 @@ func (s frameSrc) value(frame []string) string {
 // per-key citations. Head values and view λ-parameters resolve to frame
 // slots once up front, so each binding costs slot reads rather than a
 // Binding map fill. The rewriting's views must already be materialized.
-func (e *Engine) gatherRewriting(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting, perKey map[string]*TupleCitation) error {
+// degraded marks a partial-coverage request: tuples outside the (partial)
+// output are then expected strays, not invariant violations.
+func (e *Engine) gatherRewriting(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting, perKey map[string]*TupleCitation, degraded bool) error {
 	q, infos, err := e.rewritingQuery(r)
 	if err != nil {
 		return err
@@ -278,6 +300,9 @@ func (e *Engine) gatherRewriting(ctx context.Context, st *engineState, o CiteOpt
 		if !ok {
 			k := string(keyBuf)
 			if perKey[k] == nil {
+				if degraded {
+					continue
+				}
 				// A certified rewriting cannot produce extra tuples; guard
 				// anyway to surface bugs instead of silently diverging.
 				return fmt.Errorf("core: rewriting %s produced tuple outside the query result", r)

@@ -127,6 +127,14 @@ func (v *CitationView) RenderTokenSharded(p eval.Partitioned, tok Token) (*forma
 }
 
 func (v *CitationView) renderTokenOn(t evalTarget, tok Token) (*format.Object, error) {
+	return v.renderTokenCtx(context.Background(), t, tok, eval.Options{})
+}
+
+// renderTokenCtx renders the token's citation with the caller's context and
+// evaluation options flowing into the citation-query evaluation — the
+// engine's path, where cancellation and the resilient scatter driver must
+// reach the underlying shard scans.
+func (v *CitationView) renderTokenCtx(ctx context.Context, t evalTarget, tok Token, opts eval.Options) (*format.Object, error) {
 	if tok.Kind != ViewToken || tok.Name != v.Name() {
 		return nil, fmt.Errorf("core: token %s does not belong to view %s", tok, v.Name())
 	}
@@ -134,7 +142,7 @@ func (v *CitationView) renderTokenOn(t evalTarget, tok Token) (*format.Object, e
 	if err != nil {
 		return nil, err
 	}
-	rows, err := citationRows(t, inst, v.CiteQ.Params, tok.Params)
+	rows, err := citationRows(ctx, t, inst, opts, v.CiteQ.Params, tok.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -150,16 +158,17 @@ func (v *CitationView) renderTokenOn(t evalTarget, tok Token) (*format.Object, e
 // "ID": F field of FV1). Rows are ordered by the citation query's head
 // values (so lists and groups render in C_V's output order), with the full
 // binding as a tiebreak.
-func citationRows(t evalTarget, inst *cq.Query, paramNames, paramVals []string) ([]map[string]string, error) {
+func citationRows(ctx context.Context, t evalTarget, inst *cq.Query, opts eval.Options, paramNames, paramVals []string) ([]map[string]string, error) {
 	type sortedRow struct {
 		key string
 		row map[string]string
 	}
 	var rows []sortedRow
-	// Token rendering is small (one citation query instance) and its result
-	// is cached across requests, so it always runs to completion: a canceled
-	// request must not poison the shared rendered-token cache.
-	err := t.evalBindings(context.Background(), inst, eval.Options{}, func(b eval.Binding, _ []eval.Match) error {
+	// The request's ctx flows into the enumeration: a canceled caller aborts
+	// its own token rendering. That cannot poison the shared rendered-token
+	// cache — the cache never stores errors, and waiters of a failed
+	// singleflight retry the computation themselves.
+	err := t.evalBindings(ctx, inst, opts, func(b eval.Binding, _ []eval.Match) error {
 		row := make(map[string]string, len(b)+len(paramNames))
 		for k, v := range b {
 			row[k] = v

@@ -181,6 +181,14 @@ type Options struct {
 	// ErrTupleLimit as soon as the bound is exceeded, across every
 	// execution strategy. It has no effect on binding enumeration.
 	MaxTuples int
+
+	// Resilience, when non-nil, runs scatter-gather enumerations through
+	// the fault-tolerant driver: per-shard attempt deadlines, bounded
+	// retries with backoff, hedged straggler attempts, circuit breakers and
+	// a graceful partial-coverage policy (see Resilience). nil — the
+	// default — keeps the plain scatter path, bit for bit. It has no effect
+	// on unpartitioned or single-shard views.
+	Resilience *Resilience
 }
 
 // Eval evaluates q over db with set semantics. Output tuples are

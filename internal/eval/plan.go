@@ -472,6 +472,9 @@ func (p *Plan) frames(ctx context.Context, opts Options, fn frameFn) error {
 // dispatchFrames routes the enumeration to the chosen execution strategy.
 func (p *Plan) dispatchFrames(ctx context.Context, opts Options, fn frameFn) error {
 	if p.part != nil && p.part.NumShards() > 1 {
+		if opts.Resilience != nil {
+			return p.resilientFrames(ctx, opts, fn)
+		}
 		return p.scatterFrames(ctx, opts, fn)
 	}
 	if w := p.workers(opts); w > 1 {
@@ -487,7 +490,11 @@ func (p *Plan) dispatchFrames(ctx context.Context, opts Options, fn frameFn) err
 func (p *Plan) framesTraced(ctx context.Context, opts Options, fn frameFn, tr *obs.Trace, sp obs.SpanID) error {
 	switch {
 	case p.part != nil && p.part.NumShards() > 1:
-		tr.SetStr(sp, "strategy", "scatter")
+		if opts.Resilience != nil {
+			tr.SetStr(sp, "strategy", "scatter-resilient")
+		} else {
+			tr.SetStr(sp, "strategy", "scatter")
+		}
 	default:
 		if w := p.workers(opts); w > 1 {
 			tr.SetStr(sp, "strategy", "parallel")

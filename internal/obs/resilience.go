@@ -1,0 +1,36 @@
+package obs
+
+// ResilienceMetrics bundles the counters of the fault-tolerant
+// scatter-gather driver. A nil *ResilienceMetrics is the disabled state —
+// the driver guards every use — and each individual counter is nil-safe
+// like every registry metric.
+type ResilienceMetrics struct {
+	// Retries counts re-attempts after a transient per-shard failure.
+	Retries *Counter
+	// Hedges counts hedged duplicate scans launched for straggling shards.
+	Hedges *Counter
+	// BreakerOpens counts closed→open (and half-open→open) transitions.
+	BreakerOpens *Counter
+	// BreakerRejects counts attempts rejected by an open breaker.
+	BreakerRejects *Counter
+	// ShardErrors counts failed per-shard attempts (pre-retry).
+	ShardErrors *Counter
+	// PartialEvals counts enumerations degraded under MinShardCoverage.
+	PartialEvals *Counter
+	// UnavailableEvals counts enumerations failed with ErrShardUnavailable.
+	UnavailableEvals *Counter
+}
+
+// NewResilienceMetrics registers the citare_resilience_* metrics on r and
+// returns the bundle to attach via core.Engine.SetResilience.
+func NewResilienceMetrics(r *Registry) *ResilienceMetrics {
+	return &ResilienceMetrics{
+		Retries:          r.Counter("citare_resilience_retries_total", "Per-shard attempt retries after transient failures."),
+		Hedges:           r.Counter("citare_resilience_hedges_total", "Hedged duplicate shard scans launched."),
+		BreakerOpens:     r.Counter("citare_resilience_breaker_opens_total", "Circuit breaker open transitions."),
+		BreakerRejects:   r.Counter("citare_resilience_breaker_rejects_total", "Shard attempts rejected by an open breaker."),
+		ShardErrors:      r.Counter("citare_resilience_shard_errors_total", "Failed per-shard scan attempts."),
+		PartialEvals:     r.Counter("citare_resilience_partial_evals_total", "Evaluations degraded to partial shard coverage."),
+		UnavailableEvals: r.Counter("citare_resilience_unavailable_evals_total", "Evaluations failed with unavailable shards."),
+	}
+}

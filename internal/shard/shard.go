@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -260,6 +261,29 @@ func (d *DB) Relation(name string) eval.RelView {
 
 // Shard returns the shard-local view of one partition.
 func (d *DB) Shard(i int) eval.DBView { return eval.DBViewOf(d.parts[i]) }
+
+// ShardScan enumerates rel's live tuples inside shard si matching the
+// lookup (cols empty means a full scan) — the eval.ShardScanner seam the
+// fault-tolerant scatter driver and the fault injector share. Iteration
+// order is insertion order, stable across calls on a frozen snapshot, which
+// the resilient driver's exactly-once replay cursor relies on. The local
+// in-memory backend never fails on its own; ctx is honored at entry (the
+// evaluator re-checks it between candidate tuples).
+func (d *DB) ShardScan(ctx context.Context, si int, rel string, cols []int, vals []string, fn func(t storage.Tuple) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r := d.parts[si].Relation(rel)
+	if r == nil {
+		return nil
+	}
+	if len(cols) > 0 {
+		r.Lookup(cols, vals, fn)
+	} else {
+		r.Scan(fn)
+	}
+	return nil
+}
 
 // CandidateShards reports which shards can contain tuples of rel whose
 // projection on cols equals vals: exactly one when the lookup binds the

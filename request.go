@@ -55,6 +55,21 @@ type Request struct {
 	// Citation.Explain. Tracing never changes the citation itself; through
 	// a CachedCiter an Explain request bypasses the citation cache.
 	Explain bool
+
+	// MinShardCoverage sets the degradation policy on a resilient sharded
+	// Citer (WithResilience). 0 — the default — requires full shard
+	// coverage: a shard still unreachable after its attempt budget fails
+	// the request with ErrShardUnavailable. A value k > 0 accepts a partial
+	// citation as long as at least k shards contributed (answered or
+	// provably pruned): Cite then returns the degraded Citation together
+	// with a *PartialError carrying the Coverage report. Ignored without
+	// resilience.
+	MinShardCoverage int
+
+	// ShardAttempts overrides the resilient driver's per-shard attempt
+	// budget (first try included) for this request; 0 keeps the configured
+	// budget. Ignored without resilience.
+	ShardAttempts int
 }
 
 // parse validates the request shape and translates the query text into the
@@ -97,9 +112,11 @@ func (r Request) renderFormat() string {
 // citeOptions translates the request's knobs to the engine's options.
 func (r Request) citeOptions() core.CiteOptions {
 	return core.CiteOptions{
-		Parallel:      r.Parallel,
-		MaxRewritings: r.MaxRewritings,
-		MaxTuples:     r.MaxTuples,
+		Parallel:         r.Parallel,
+		MaxRewritings:    r.MaxRewritings,
+		MaxTuples:        r.MaxTuples,
+		MinShardCoverage: r.MinShardCoverage,
+		ShardAttempts:    r.ShardAttempts,
 	}
 }
 
@@ -138,6 +155,12 @@ func (c *Citer) Cite(ctx context.Context, req Request) (*Citation, error) {
 	if tr != nil {
 		ct.explain = explainFromReport(tr.Report())
 	}
+	// A degraded citation is returned, not swallowed: the Citation is valid
+	// for the shards that answered, and the paired *PartialError carries the
+	// machine-readable Coverage so callers can decide whether it is enough.
+	if res.Coverage != nil && res.Coverage.Partial() {
+		return ct, &PartialError{Coverage: res.Coverage}
+	}
 	return ct, nil
 }
 
@@ -175,7 +198,7 @@ func (c *Citer) CiteEach(ctx context.Context, req Request, fn func(Tuple) error)
 		return err
 	}
 	i := 0
-	_, err = c.engine.CiteEach(ctx, q, req.citeOptions(), func(tc *core.TupleCitation) error {
+	res, err := c.engine.CiteEach(ctx, q, req.citeOptions(), func(tc *core.TupleCitation) error {
 		t := Tuple{
 			Index:        i,
 			Values:       append([]string(nil), tc.Tuple...),
@@ -185,5 +208,15 @@ func (c *Citer) CiteEach(ctx context.Context, req Request, fn func(Tuple) error)
 		i++
 		return fn(t)
 	})
-	return classify(err)
+	if err != nil {
+		return classify(err)
+	}
+	// Degraded stream: every delivered tuple is valid, but skipped shards
+	// may have withheld others. Reported after the last delivery as a
+	// *PartialError so streaming callers (citesrv's NDJSON trailer) can
+	// attach the Coverage without a second channel.
+	if res != nil && res.Coverage != nil && res.Coverage.Partial() {
+		return &PartialError{Coverage: res.Coverage}
+	}
+	return nil
 }

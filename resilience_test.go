@@ -1,0 +1,202 @@
+package citare
+
+// Chaos property tests for the fault-tolerant scatter-gather pipeline: with
+// zero faults the resilient driver is invisible (citations byte-identical to
+// the unsharded engine across shard counts and strategies), a stalled shard
+// either fails fast with ErrShardUnavailable or degrades under
+// MinShardCoverage with an accurate Coverage report, and cancellation cuts
+// through retries promptly without leaking goroutines. Run with -race (CI's
+// chaos job does).
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"citare/internal/eval"
+	"citare/internal/fault"
+	"citare/internal/gtopdb"
+)
+
+// resilientPaperCiter builds a sharded paper-instance citer with the fault
+// injector wrapped around the shard-scan seam and the given resilient
+// configuration. The injector applies from the next snapshot, so the epoch
+// is cycled once.
+func resilientPaperCiter(t *testing.T, shards int, in *fault.Injector, cfg ResilienceConfig) *Citer {
+	t.Helper()
+	c := shardedPaperCiter(t, gtopdb.PaperInstance(), shards, WithResilience(cfg))
+	c.engine.SetShardWrapper(in.Wrap)
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// chaosConfig keeps chaos tests fast: short attempt deadlines, token
+// backoffs, and a breaker too patient to interfere unless a test wants it.
+func chaosConfig() ResilienceConfig {
+	return ResilienceConfig{
+		AttemptTimeout:   50 * time.Millisecond,
+		MaxAttempts:      2,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+		BreakerThreshold: 1000,
+		Seed:             42,
+	}
+}
+
+// TestResilienceNoFaultParity: with resilience enabled and no faults
+// injected, every query of the gtopdb and advisor workloads produces a
+// citation byte-identical to the unsharded engine's, across shard counts —
+// the armor must be invisible when nothing attacks.
+func TestResilienceNoFaultParity(t *testing.T) {
+	db := gtopdb.PaperInstance()
+	base, err := NewFromProgram(db, gtopdb.ViewsProgram, WithNeutralCitation(gtopdb.DatabaseCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := append(gtopdbWorkload(), advisorWorkload()...)
+	for _, shards := range []int{1, 2, 3, 5} {
+		c := shardedPaperCiter(t, db, shards, WithResilience(ResilienceConfig{Seed: 7}))
+		for _, q := range queries {
+			want, err := cite(base, q)
+			if err != nil {
+				t.Fatalf("unsharded %s: %v", q.src, err)
+			}
+			got, err := cite(c, q)
+			if err != nil {
+				t.Fatalf("resilient shards=%d %s: %v", shards, q.src, err)
+			}
+			if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+				t.Fatalf("resilient shards=%d, %s:\n got %s\nwant %s", shards, q.src, g, w)
+			}
+			if got.Coverage().Partial() {
+				t.Fatalf("shards=%d, %s: fault-free run reported partial coverage %+v", shards, q.src, got.Coverage())
+			}
+		}
+	}
+}
+
+// TestChaosStalledShard is the headline chaos property: with 1 of N shards
+// stalled (holding every scan until its attempt deadline), the default
+// policy fails fast with ErrShardUnavailable, while MinShardCoverage N-1
+// returns a degraded citation promptly, paired with a *PartialError whose
+// Coverage pins the stalled shard exactly.
+func TestChaosStalledShard(t *testing.T) {
+	const shards = 3
+	const stalled = 1
+	in := fault.NewInjector(42)
+	in.SetFault(stalled, fault.ShardFault{Stall: true})
+	c := resilientPaperCiter(t, shards, in, chaosConfig())
+	const q = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`
+
+	// Default policy: full coverage required. The stall is bounded by the
+	// per-attempt deadline, not by the caller's patience — the typed failure
+	// arrives in attempt-budget time.
+	start := time.Now()
+	_, err := c.Cite(context.Background(), Request{Datalog: q})
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("strict cite err = %v, want ErrShardUnavailable", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("strict fail-fast took %v", el)
+	}
+
+	// MinShardCoverage N-1: the surviving shards' citation comes back,
+	// tagged partial, with the coverage report naming the stalled shard.
+	start = time.Now()
+	ct, err := c.Cite(context.Background(), Request{Datalog: q, MinShardCoverage: shards - 1})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("degraded cite took %v", el)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) || ct == nil {
+		t.Fatalf("degraded cite = (%v, %v), want citation + *PartialError", ct, err)
+	}
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("partial error does not unwrap to ErrPartial: %v", err)
+	}
+	cov := ct.Coverage()
+	if cov == nil || pe.Coverage == nil {
+		t.Fatal("degraded citation carries no coverage report")
+	}
+	if cov.Shards != shards || cov.Skipped != 1 || cov.Answered+cov.Pruned != shards-1 {
+		t.Fatalf("coverage %+v, want %d shards with exactly the stalled one skipped", cov, shards)
+	}
+	if cov.PerShard[stalled].State != eval.ShardSkipped {
+		t.Fatalf("stalled shard state %q, want %q (coverage %+v)", cov.PerShard[stalled].State, eval.ShardSkipped, cov)
+	}
+	if cov.Attempts == 0 || cov.PerShard[stalled].Attempts == 0 {
+		t.Fatalf("coverage records no attempts against the stalled shard: %+v", cov)
+	}
+	for si, sc := range cov.PerShard {
+		if si != stalled && sc.State == eval.ShardSkipped {
+			t.Fatalf("healthy shard %d reported skipped: %+v", si, cov)
+		}
+	}
+	if len(ct.Rows()) == 0 {
+		t.Fatal("degraded citation lost every tuple; surviving shards should still answer")
+	}
+}
+
+// TestChaosTransientRecovery: transient failures within the attempt budget
+// retry to full success — same bytes as an unfaulted run, full coverage,
+// and the retries visible in the coverage accounting.
+func TestChaosTransientRecovery(t *testing.T) {
+	const q = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`
+	clean := shardedPaperCiter(t, gtopdb.PaperInstance(), 3, WithResilience(ResilienceConfig{Seed: 9}))
+	want, err := clean.Cite(context.Background(), Request{Datalog: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(9)
+	in.SetFault(0, fault.ShardFault{FailOps: 1})
+	in.SetFault(2, fault.ShardFault{FailOps: 1})
+	c := resilientPaperCiter(t, 3, in, chaosConfig())
+	got, err := c.Cite(context.Background(), Request{Datalog: q})
+	if err != nil {
+		t.Fatalf("cite with transient faults: %v", err)
+	}
+	if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+		t.Fatalf("retried citation diverged:\n got %s\nwant %s", g, w)
+	}
+	cov := got.Coverage()
+	if cov.Partial() {
+		t.Fatalf("recovered run reported partial coverage: %+v", cov)
+	}
+	if cov.Retries == 0 {
+		t.Fatalf("coverage records no retries despite injected transient faults: %+v", cov)
+	}
+}
+
+// TestChaosCancelDuringRetry: canceling the request context while the driver
+// is waiting out a stalled shard returns ErrCanceled promptly — the retry
+// machinery must not outlive its caller — and the goroutine count settles.
+func TestChaosCancelDuringRetry(t *testing.T) {
+	in := fault.NewInjector(5)
+	in.SetFault(1, fault.ShardFault{Stall: true})
+	cfg := chaosConfig()
+	cfg.AttemptTimeout = 10 * time.Second // the cancel must cut in, not the deadline
+	cfg.BackoffBase, cfg.BackoffMax = time.Second, time.Second
+	c := resilientPaperCiter(t, 3, in, cfg)
+	const q = `Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"`
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Cite(ctx, Request{Datalog: q})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancel-to-return took %v", el)
+	}
+	waitGoroutines(t, before)
+}
