@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"citare"
+	"citare/internal/citegraph"
 	"citare/internal/core"
 	"citare/internal/cq"
 	"citare/internal/datalog"
@@ -47,7 +48,7 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B20)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B24)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
 	regress := flag.String("regress", "", "compare committed bench JSON files OLD,...,NEW pairwise and report allocs/op regressions")
 	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
@@ -99,6 +100,10 @@ func main() {
 		{"B18", "streamed vs materialized join: bytes/op and allocs/op", runB18},
 		{"B19", "instrumentation overhead: disabled vs metrics vs explain", runB19},
 		{"B20", "hedging payoff against a straggling shard", runB20},
+		{"B21", "citegraph deep-join citation latency at stress scale", runB21},
+		{"B22", "citegraph hot-key skew vs uniform shard routing", runB22},
+		{"B23", "citegraph mixed read/write-version traffic", runB23},
+		{"B24", "citegraph batch vs streaming client patterns", runB24},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -825,6 +830,316 @@ func runB20() error {
 	return nil
 }
 
+// runB21 measures deep-join citation latency on the OpenCitations-shaped
+// citegraph workload at stress scale (~1M tuples; -quick drops to the small
+// instance). The cold pass pays view materialization (VCites alone holds one
+// row per citation edge) plus token-cache fill; the steady-state table then
+// shows the long-tail service mix: µs-scale resolutions, ms-scale incoming
+// probes, and the multi-join provenance chains. The hot work's full incoming
+// citation is deliberately absent: rendering it materializes the hot key's
+// complete reference list once per result tuple (quadratic in in-degree,
+// minutes at stress scale) — B22 measures the hot key at the routing layer
+// and the soak suite streams it instead.
+func runB21() error {
+	cfg := citegraph.ScaleStress()
+	if quick {
+		cfg = citegraph.ScaleSmall()
+	}
+	start := time.Now()
+	db := citegraph.Generate(cfg)
+	genD := time.Since(start)
+	fmt.Printf("   instance: works=%d authors=%d venues=%d → %d tuples, generated in %v\n",
+		cfg.Works, cfg.Authors, cfg.Venues, cfg.TupleCount(), genD.Round(time.Millisecond))
+	c, err := citare.NewFromProgram(db, citegraph.ViewsProgram,
+		citare.WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		return err
+	}
+	hot := citegraph.HotWork()
+	mid := citegraph.WorkID(cfg.Works / 120) // off the hot key, still well-cited
+	tail := citegraph.WorkID(cfg.Works - 1)
+	cases := []struct {
+		name    string
+		datalog string
+		iters   int
+	}{
+		{"resolution/hot", citegraph.ResolutionQuery(hot), 50},
+		{"resolution/tail", citegraph.ResolutionQuery(tail), 50},
+		{"incoming/mid", citegraph.IncomingQuery(mid), 10},
+		{"co-citation/mid", citegraph.CoCitationQuery(mid), 3},
+		{"chain/tail", citegraph.ChainQuery(tail), 3},
+		{"author-provenance", citegraph.AuthorProvenanceQuery(citegraph.AuthorID(7)), 3},
+		{"venue-rollup", citegraph.VenueRollupQuery(citegraph.VenueID(3)), 5},
+	}
+	rows := make(map[string]int, len(cases))
+	coldStart := time.Now()
+	for _, tc := range cases {
+		res, err := c.CiteDatalog(tc.datalog)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		rows[tc.name] = res.NumTuples()
+	}
+	fmt.Printf("   cold pass (view materialization + token-cache fill): %v\n",
+		time.Since(coldStart).Round(time.Millisecond))
+	if rows["resolution/hot"] == 0 || rows["incoming/mid"] == 0 {
+		return fmt.Errorf("citegraph workload returned no rows (resolution=%d incoming=%d)",
+			rows["resolution/hot"], rows["incoming/mid"])
+	}
+	fmt.Println("   | query             | rows |     time/op |")
+	fmt.Println("   |-------------------|-----:|------------:|")
+	for _, tc := range cases {
+		d, err := timed(tc.iters, func() error {
+			_, err := c.CiteDatalog(tc.datalog)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		fmt.Printf("   | %-17s | %4d | %11v |\n", tc.name, rows[tc.name], d.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// runB22 measures the routing trade-off the Cites shard key encodes. Keyed on
+// Cited, an incoming-reference lookup prunes to exactly one shard — but the
+// Zipf in-degree law concentrates those lookups on the hot work's shard.
+// Keyed on Citing, the same lookups fan out to every shard: per-shard load is
+// uniform but no lookup is pruned. The experiment runs the same Zipf-drawn
+// incoming mix against both layouts and reports per-shard touch counts from
+// shard.OpStats.
+func runB22() error {
+	cfg := citegraph.ScaleStress()
+	mixN := 400
+	if quick {
+		cfg = citegraph.ScaleSmall()
+		mixN = 100
+	}
+	const shards = 4
+	type outcome struct {
+		imbalance float64
+		pruned    uint64
+		fanout    uint64
+	}
+	results := make(map[string]outcome, 2)
+	for _, routing := range []string{"Cited", "Citing"} {
+		rcfg := cfg
+		rcfg.CitesShardKey = routing
+		sdb, err := shard.FromDB(citegraph.Generate(rcfg), shards)
+		if err != nil {
+			return err
+		}
+		// IncomingTitledQuery anchors the join on Work, so every Cites probe
+		// is a deep union-view lookup — the instrumented path OpStats counts.
+		queries := make([]*cq.Query, mixN)
+		for i, w := range citegraph.ZipfWorks(rcfg, 99, mixN) {
+			if queries[i], err = datalog.ParseQuery(citegraph.IncomingTitledQuery(w)); err != nil {
+				return err
+			}
+		}
+		d, err := timed(3, func() error {
+			for _, q := range queries {
+				if _, err := eval.EvalSharded(sdb, q, eval.Options{Parallel: shards}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		stats := sdb.OpStats()
+		var total, peak uint64
+		for _, ps := range stats.PerShard {
+			total += ps.Lookups
+			if ps.Lookups > peak {
+				peak = ps.Lookups
+			}
+		}
+		mean := float64(total) / float64(len(stats.PerShard))
+		o := outcome{imbalance: float64(peak) / mean, pruned: stats.PrunedLookups, fanout: stats.FanoutLookups}
+		results[routing] = o
+		fmt.Printf("   routing=%s: %v per %d-query mix, pruned=%d fanout=%d, per-shard lookups=%v (peak/mean %.2fx)\n",
+			routing, d.Round(time.Microsecond), mixN, o.pruned, o.fanout,
+			func() []uint64 {
+				ls := make([]uint64, len(stats.PerShard))
+				for i, ps := range stats.PerShard {
+					ls[i] = ps.Lookups
+				}
+				return ls
+			}(), o.imbalance)
+	}
+	cited, citing := results["Cited"], results["Citing"]
+	if cited.pruned == 0 {
+		return fmt.Errorf("routing on Cited pruned no lookups — shard-key pruning is off")
+	}
+	if citing.fanout <= citing.pruned {
+		return fmt.Errorf("routing on Citing should fan incoming lookups out (fanout=%d pruned=%d)",
+			citing.fanout, citing.pruned)
+	}
+	if cited.imbalance <= citing.imbalance {
+		return fmt.Errorf("hot-key routing should skew per-shard load: imbalance %.2fx (Cited) vs %.2fx (Citing)",
+			cited.imbalance, citing.imbalance)
+	}
+	fmt.Printf("   skew confirmed: pruned hot-key routing %.2fx vs uniform fan-out %.2fx\n",
+		cited.imbalance, citing.imbalance)
+	return nil
+}
+
+// runB23 measures mixed read/write-version traffic on storage.VersionedDB:
+// steady-state citation reads pinned to historical snapshots while writers
+// append new works and commit, plus the write+commit cost itself. The pinned
+// reader's row count must not move while writes land — the §4 fixity
+// property the versioned store exists for.
+func runB23() error {
+	cfg := citegraph.ScaleMedium()
+	batch := 200
+	if quick {
+		cfg = citegraph.ScaleSmall()
+		batch = 40
+	}
+	const commits = 6
+	start := time.Now()
+	v, versions := citegraph.GenerateVersioned(cfg, commits, batch)
+	fmt.Printf("   versioned instance: %d commits over base %d-tuple load, built in %v\n",
+		len(versions), cfg.TupleCount(), time.Since(start).Round(time.Millisecond))
+	hot := citegraph.HotWork()
+	readQ := citegraph.IncomingQuery(hot)
+	pinned := []uint64{versions[0], versions[len(versions)/2], versions[len(versions)-1]}
+	citers := make(map[uint64]*citare.Citer, len(pinned))
+	fmt.Println("   | pinned version | rows |     read/op |")
+	fmt.Println("   |---------------:|-----:|------------:|")
+	var pinnedRows int
+	for _, ver := range pinned {
+		db, err := v.AsOf(ver)
+		if err != nil {
+			return err
+		}
+		c, err := citare.NewFromProgram(db, citegraph.ViewsProgram,
+			citare.WithNeutralCitation(citegraph.DatasetCitation()))
+		if err != nil {
+			return err
+		}
+		citers[ver] = c
+		res, err := c.CiteDatalog(readQ) // cold: snapshot + view materialization
+		if err != nil {
+			return err
+		}
+		d, err := timed(5, func() error {
+			_, err := c.CiteDatalog(readQ)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		pinnedRows = res.NumTuples()
+		fmt.Printf("   | %14d | %4d | %11v |\n", ver, pinnedRows, d.Round(time.Microsecond))
+	}
+	// Write side: append a fresh work citing the hot key, one commit per op,
+	// with pinned readers interleaved so snapshots and writers contend.
+	next := 1000000 // WorkIDs far past anything the generator handed out
+	base := citers[pinned[0]]
+	writes := 0
+	wd, err := timed(20, func() error {
+		w := citegraph.WorkID(next)
+		next++
+		writes++
+		v.MustInsert("Work", w, "Title-bench-"+w, citegraph.VenueID(0), "2026")
+		v.MustInsert("Cites", w, hot)
+		v.Commit("bench-" + w)
+		_, err := base.CiteDatalog(readQ) // pinned read under write traffic
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   write work+cite+commit (with pinned read): %v/op, head now v%d\n",
+		wd.Round(time.Microsecond), v.Version())
+	// Fixity: the version pinned before the writes still answers identically.
+	res, err := citers[pinned[len(pinned)-1]].CiteDatalog(readQ)
+	if err != nil {
+		return err
+	}
+	if res.NumTuples() != pinnedRows {
+		return fmt.Errorf("pinned version drifted under writes: %d rows, want %d", res.NumTuples(), pinnedRows)
+	}
+	fmt.Printf("   fixity: pinned v%d still returns %d rows after %d head commits\n",
+		pinned[len(pinned)-1], pinnedRows, writes)
+	return nil
+}
+
+// runB24 compares the three client patterns citesrv exposes over the same
+// Zipf-drawn citegraph mix: k independent materialized Cites (the /v1/cite
+// loop), one CiteBatchItems call (the /v1/cite/batch body, which groups
+// equivalent requests), and per-tuple streaming CiteEach (the NDJSON
+// /v1/cite/stream path, which never builds a Result). Streaming must not
+// allocate more bytes/op than materializing; batching must not lose to the
+// independent loop.
+func runB24() error {
+	cfg := citegraph.ScaleSmall()
+	db := citegraph.Generate(cfg)
+	c, err := citare.NewFromProgram(db, citegraph.ViewsProgram,
+		citare.WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		return err
+	}
+	mix := workload.CiteGraphMix(cfg, 31, 16)
+	reqs := make([]citare.Request, len(mix))
+	for i, q := range mix {
+		reqs[i] = citare.Request{Datalog: q}
+		if _, err := c.Cite(context.Background(), reqs[i]); err != nil { // warm views + plans
+			return err
+		}
+	}
+	ctx := context.Background()
+	independent := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, err := c.Cite(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	batched := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, item := range c.CiteBatchItems(ctx, reqs) {
+				if item.Err != nil {
+					b.Fatalf("batch item %d: %v", j, item.Err)
+				}
+			}
+		}
+	})
+	streamed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if err := c.CiteEach(ctx, req, func(citare.Tuple) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	fmt.Printf("   k=%d mixed citegraph requests per op\n", len(reqs))
+	fmt.Println("   | client pattern        |    ns/op |  bytes/op | allocs/op |")
+	fmt.Println("   |-----------------------|---------:|----------:|----------:|")
+	for _, row := range []struct {
+		name string
+		r    testing.BenchmarkResult
+	}{{"independent Cite", independent}, {"CiteBatchItems", batched}, {"streaming CiteEach", streamed}} {
+		fmt.Printf("   | %-21s | %8.0f | %9d | %9d |\n", row.name,
+			float64(row.r.T.Nanoseconds())/float64(row.r.N), row.r.AllocedBytesPerOp(), row.r.AllocsPerOp())
+	}
+	if streamed.AllocedBytesPerOp() > independent.AllocedBytesPerOp() {
+		return fmt.Errorf("streaming allocates %d bytes/op vs %d materialized — CiteEach built Results",
+			streamed.AllocedBytesPerOp(), independent.AllocedBytesPerOp())
+	}
+	if batchNs, indNs := float64(batched.T.Nanoseconds())/float64(batched.N),
+		float64(independent.T.Nanoseconds())/float64(independent.N); batchNs > indNs*1.2 {
+		return fmt.Errorf("CiteBatchItems %.0f ns/op vs %.0f independent — batching lost its grouping payoff", batchNs, indNs)
+	}
+	return nil
+}
+
 // allocRegressionTolerance is the allocs/op ratio (new/old) above which a
 // benchmark counts as regressed. Generous on purpose: allocation counts are
 // deterministic but small suites jitter a little with map layouts and LRU
@@ -1014,6 +1329,62 @@ func writeBenchJSON(path string) error {
 	if err != nil {
 		return err
 	}
+
+	// Citegraph entries (B21–B24) ride the small instance so the recorded
+	// suite stays fast and allocation-deterministic; the ~1M-tuple stress
+	// scale lives in the interactive B21/B22 runs.
+	cgCfg := citegraph.ScaleSmall()
+	cgCiter, err := citare.NewFromProgram(citegraph.Generate(cgCfg), citegraph.ViewsProgram,
+		citare.WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		return err
+	}
+	cgQueries := []string{
+		citegraph.ResolutionQuery(citegraph.HotWork()),
+		citegraph.IncomingQuery(citegraph.HotWork()),
+		citegraph.CoCitationQuery(citegraph.HotWork()),
+		citegraph.AuthorProvenanceQuery(citegraph.AuthorID(3)),
+	}
+	for _, q := range cgQueries { // materialize citegraph views + fill token caches
+		if _, err := cgCiter.CiteDatalog(q); err != nil {
+			return err
+		}
+	}
+	cgBatch := make([]citare.Request, 8)
+	for i, q := range workload.CiteGraphMix(cgCfg, 31, 8) {
+		cgBatch[i] = citare.Request{Datalog: q}
+		if _, err := cgCiter.Cite(context.Background(), cgBatch[i]); err != nil {
+			return err
+		}
+	}
+	// The B22 routing pair: the same Zipf-drawn incoming mix against a
+	// Cites table sharded on Cited (pruned, hot-key skewed) vs Citing
+	// (uniform, full fan-out).
+	routedLookups := func(routing string) (*shard.DB, []*cq.Query, error) {
+		rcfg := cgCfg
+		rcfg.CitesShardKey = routing
+		sdb, err := shard.FromDB(citegraph.Generate(rcfg), 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs := make([]*cq.Query, 8)
+		for i, w := range citegraph.ZipfWorks(rcfg, 99, len(qs)) {
+			if qs[i], err = datalog.ParseQuery(citegraph.IncomingTitledQuery(w)); err != nil {
+				return nil, nil, err
+			}
+		}
+		return sdb, qs, nil
+	}
+	citedSdb, citedQs, err := routedLookups("Cited")
+	if err != nil {
+		return err
+	}
+	citingSdb, citingQs, err := routedLookups("Citing")
+	if err != nil {
+		return err
+	}
+	cgVer, _ := citegraph.GenerateVersioned(cgCfg, 2, 40)
+	verNext := 1000000 // WorkIDs far past anything the generator handed out
 
 	mustCite := func(b *testing.B, c *citare.Citer, q string) {
 		if _, err := c.CiteDatalog(q); err != nil {
@@ -1208,6 +1579,73 @@ func writeBenchJSON(path string) error {
 			for i := 0; i < b.N; i++ {
 				hedgeOnIn.SetFault(0, fault.ShardFault{Latency: 10 * time.Millisecond, SlowOps: 1})
 				mustCite(b, hedgeOnCiter, joinQ)
+			}
+		}},
+		// Citegraph stress-workload entries (B21–B24) at small scale: the
+		// deep-join / skew / versioned-write / streaming quartet the ISSUE 9
+		// acceptance gate requires in BENCH_9.json.
+		{"citegraph/cite/resolution-hot/scale=small", func(b *testing.B) { // B21
+			for i := 0; i < b.N; i++ {
+				mustCite(b, cgCiter, cgQueries[0])
+			}
+		}},
+		{"citegraph/cite/incoming-hot/scale=small", func(b *testing.B) { // B21 hot key
+			for i := 0; i < b.N; i++ {
+				mustCite(b, cgCiter, cgQueries[1])
+			}
+		}},
+		{"citegraph/cite/cocite-hot/scale=small", func(b *testing.B) { // B21 deep join
+			for i := 0; i < b.N; i++ {
+				mustCite(b, cgCiter, cgQueries[2])
+			}
+		}},
+		{"citegraph/cite/author-provenance/scale=small", func(b *testing.B) { // B21 deep join
+			for i := 0; i < b.N; i++ {
+				mustCite(b, cgCiter, cgQueries[3])
+			}
+		}},
+		{"citegraph/lookup/incoming-mix/routing=cited/shards=4", func(b *testing.B) { // B22 pruned+skewed
+			for i := 0; i < b.N; i++ {
+				for _, q := range citedQs {
+					if _, err := eval.EvalSharded(citedSdb, q, eval.Options{Parallel: 4}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"citegraph/lookup/incoming-mix/routing=citing/shards=4", func(b *testing.B) { // B22 uniform fan-out
+			for i := 0; i < b.N; i++ {
+				for _, q := range citingQs {
+					if _, err := eval.EvalSharded(citingSdb, q, eval.Options{Parallel: 4}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"citegraph/versioned/work-cite-commit", func(b *testing.B) { // B23 write path
+			for i := 0; i < b.N; i++ {
+				w := citegraph.WorkID(verNext)
+				verNext++
+				cgVer.MustInsert("Work", w, "Title-bench-"+w, citegraph.VenueID(0), "2026")
+				cgVer.MustInsert("Cites", w, citegraph.HotWork())
+				cgVer.Commit("bench-" + w)
+			}
+		}},
+		{"citegraph/cite-batch/items-k=8/mix", func(b *testing.B) { // B24 batch client
+			for i := 0; i < b.N; i++ {
+				for j, item := range cgCiter.CiteBatchItems(context.Background(), cgBatch) {
+					if item.Err != nil {
+						b.Fatalf("batch item %d: %v", j, item.Err)
+					}
+				}
+			}
+		}},
+		{"citegraph/cite-each/incoming-hot/scale=small", func(b *testing.B) { // B24 streaming client
+			req := citare.Request{Datalog: cgQueries[1]}
+			for i := 0; i < b.N; i++ {
+				if err := cgCiter.CiteEach(context.Background(), req, func(citare.Tuple) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}

@@ -1,0 +1,189 @@
+package citegraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"citare/internal/core"
+	"citare/internal/datalog"
+	"citare/internal/format"
+)
+
+// ViewsProgram is the citegraph citation-policy library in the datalog
+// surface syntax. The four views mirror how a reference-resolution service
+// actually slices a citation graph, and their citation queries are
+// deliberately deep joins:
+//
+//   - VWork: per-work landing page; cited by the work's author list
+//     (Work ⋈ Wrote ⋈ Author — Wrote is sharded by AID, so a bound work
+//     fans out across shards).
+//   - VCites: incoming-reference list per cited work; the λ param is the
+//     Zipf-skewed Cited column, so under the default "Cited" shard key the
+//     head of the popularity law concentrates on one shard (hot key) and
+//     resolution lookups prune to it.
+//   - VVenue: venue roll-up of a venue's works, cited by the venue record.
+//   - VAuthored: author-transitive provenance — everything an author wrote,
+//     cited by the author record joined back through the works.
+const ViewsProgram = `
+# OpenCitations-shaped citation policies over the citegraph schema.
+view λW. VWork(W, T, Y) :- Work(W, T, V, Y).
+cite VWork λW. CWork(W, T, Pn) :- Work(W, T, V, Y), Wrote(A, W), Author(A, Pn, Af).
+fmt  VWork { "Work": W, "Title": T, "Authors": [Pn] }.
+
+view λC. VCites(G, C) :- Cites(G, C).
+cite VCites λC. CCites(C, T, G) :- Cites(G, C), Work(C, T, V, Y).
+fmt  VCites { "Cited": C, "Title": T, "CitedBy": [G] }.
+
+view λV. VVenue(W, T, V, Y) :- Work(W, T, V, Y).
+cite VVenue λV. CVenue(V, Vn, Fd) :- Venue(V, Vn, Fd).
+fmt  VVenue { "Venue": V, "Name": Vn, "Field": Fd }.
+
+view λA. VAuthored(A, W, T) :- Wrote(A, W), Work(W, T, V, Y).
+cite VAuthored λA. CAuthored(A, Pn, T) :- Author(A, Pn, Af), Wrote(A, W), Work(W, T, V, Y).
+fmt  VAuthored { "Author": A, "Name": Pn, "Works": [T] }.
+`
+
+// Views parses ViewsProgram into citation views.
+func Views() ([]*core.CitationView, error) {
+	prog, err := datalog.ParseProgram(ViewsProgram)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromProgram(prog)
+}
+
+// MustViews is Views that panics on error (the program is a constant).
+func MustViews() []*core.CitationView {
+	vs, err := Views()
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+// DatasetCitation is the whole-corpus citation used as the Agg neutral
+// element, in the spirit of OpenCitations' corpus-level DOI.
+func DatasetCitation() *format.Object {
+	return format.NewObject().
+		Set("Corpus", format.S("citegraph synthetic citation corpus")).
+		Set("Model", format.S("OpenCitations Data Model (Daquino et al.)")).
+		Set("License", format.S("CC0"))
+}
+
+// The query library. Each helper returns a datalog query string for the
+// facade (Request.Datalog); constants bind through equality comparisons so
+// the planner can push them into index lookups and shard pruning.
+
+// ResolutionQuery is the workhorse of the long-tail access pattern: resolve
+// one work's record. Prunes to a single Work shard; its VCites rewriting
+// probes the (possibly hot) Cited shard.
+func ResolutionQuery(work string) string {
+	return fmt.Sprintf(`Q(T, Y) :- Work(W, T, V, Y), W = %q`, work)
+}
+
+// IncomingQuery lists the works citing `work` — a point probe on the Cites
+// relation's Cited column: pruned and hot under the default shard key,
+// fanned out under "Citing" routing.
+func IncomingQuery(work string) string {
+	return fmt.Sprintf(`Q(G) :- Cites(G, C), C = %q`, work)
+}
+
+// IncomingTitledQuery resolves the cited work's record first and then probes
+// its incoming references through the join. Unlike IncomingQuery, the Cites
+// atom sits at a deep join step here, so sharded evaluation routes it through
+// the union view per lookup — the shape shard routing sees when reference
+// lists are resolved inside a larger join rather than as the scatter root.
+func IncomingTitledQuery(work string) string {
+	return fmt.Sprintf(`Q(G, T) :- Work(C, T, V, Y), C = %q, Cites(G, C)`, work)
+}
+
+// CoCitationQuery finds works cited together with `work` by the same citing
+// work — the classic co-citation join, self-joining Cites through the
+// citing side.
+func CoCitationQuery(work string) string {
+	return fmt.Sprintf(`Q(C2) :- Cites(G, C1), C1 = %q, Cites(G, C2)`, work)
+}
+
+// ChainQuery walks the citation chain two hops upstream of `work`: works
+// citing works that cite it, resolved to titles — a three-way deep join
+// anchored on the (hot) cited key.
+func ChainQuery(work string) string {
+	return fmt.Sprintf(
+		`Q(G2, T) :- Cites(G1, C), C = %q, Cites(G2, G1), Work(G2, T, V, Y)`, work)
+}
+
+// AuthorProvenanceQuery gathers everything the works of one author cite — a
+// four-way join (Author ⋈ Wrote ⋈ Cites ⋈ Work) whose bound AID prunes the
+// Wrote relation to one shard before fanning out through Cites.
+func AuthorProvenanceQuery(author string) string {
+	return fmt.Sprintf(
+		`Q(Pn, T) :- Author(A, Pn, Af), A = %q, Wrote(A, W), Cites(W, C), Work(C, T, V, Y)`,
+		author)
+}
+
+// VenueRollupQuery rolls up one venue's works with their years — the shape
+// behind a venue landing page, rewritable through both VVenue and VWork.
+func VenueRollupQuery(venue string) string {
+	return fmt.Sprintf(`Q(Vn, T, Y) :- Venue(V, Vn, Fd), V = %q, Work(W, T, V, Y)`, venue)
+}
+
+// MixWeights shapes QueryMix. The defaults follow the Zenodo DOI-tracking
+// observation: resolution dominates, incoming-reference lists are common,
+// deep joins are the tail.
+type MixWeights struct {
+	Resolution, Incoming, CoCitation, Chain, AuthorProv, VenueRollup int
+}
+
+// DefaultMixWeights returns the long-tail service mix.
+func DefaultMixWeights() MixWeights {
+	return MixWeights{Resolution: 55, Incoming: 25, CoCitation: 8, Chain: 4, AuthorProv: 5, VenueRollup: 3}
+}
+
+// ZipfWorks draws n work IDs with the instance's in-degree skew — the same
+// popularity law the generator wires into Cites — for workloads that target
+// works directly. Deterministic per seed.
+func ZipfWorks(cfg Config, seed int64, n int) []string {
+	cfg = cfg.normalized()
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Works-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = WorkID(int(zipf.Uint64()))
+	}
+	return out
+}
+
+// QueryMix draws n datalog queries against a citegraph instance: targets are
+// Zipf-drawn with the config's skew (so the mix hammers the same hot works
+// the data is skewed toward) and kinds follow w. Deterministic per seed and
+// independent of the generator's stream.
+func QueryMix(cfg Config, w MixWeights, seed int64, n int) []string {
+	cfg = cfg.normalized()
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Works-1))
+	total := w.Resolution + w.Incoming + w.CoCitation + w.Chain + w.AuthorProv + w.VenueRollup
+	if total <= 0 {
+		w = DefaultMixWeights()
+		total = 100
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		work := WorkID(int(zipf.Uint64()))
+		pick := r.Intn(total)
+		switch {
+		case pick < w.Resolution:
+			out = append(out, ResolutionQuery(work))
+		case pick < w.Resolution+w.Incoming:
+			out = append(out, IncomingQuery(work))
+		case pick < w.Resolution+w.Incoming+w.CoCitation:
+			out = append(out, CoCitationQuery(work))
+		case pick < w.Resolution+w.Incoming+w.CoCitation+w.Chain:
+			out = append(out, ChainQuery(work))
+		case pick < w.Resolution+w.Incoming+w.CoCitation+w.Chain+w.AuthorProv:
+			out = append(out, AuthorProvenanceQuery(AuthorID(r.Intn(cfg.Authors))))
+		default:
+			out = append(out, VenueRollupQuery(VenueID(r.Intn(cfg.Venues))))
+		}
+	}
+	return out
+}

@@ -616,12 +616,16 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 		return nil, err
 	}
 	ob.tr.SetInt(ev.id, "tuples", int64(len(out.Tuples)))
+	// The gathered eval buffer is shared straight into the Result: res.Tuples
+	// is sized once and perTuple indexes into it, so the gather/combine
+	// stages fill the final slots in place — no per-tuple heap skeletons and
+	// no copying append at the end. Plan.Eval's contract sorts out.Tuples by
+	// key, so slot order is already the deterministic citation order.
+	res.Tuples = make([]TupleCitation, len(out.Tuples))
 	perTuple := make(map[string]*TupleCitation, len(out.Tuples))
-	order := make([]string, 0, len(out.Tuples))
-	for _, t := range out.Tuples {
-		k := t.Key()
-		perTuple[k] = &TupleCitation{Tuple: t}
-		order = append(order, k)
+	for i, t := range out.Tuples {
+		res.Tuples[i].Tuple = t
+		perTuple[t.Key()] = &res.Tuples[i]
 	}
 
 	// Materialize every view any rewriting touches up front, in one batch.
@@ -655,46 +659,30 @@ func (e *Engine) cite(ctx context.Context, q *cq.Query, o CiteOptions) (res *Res
 			ob.tr.SetStr(rsp, "rewriting", r.String())
 			rctx = obs.NewContext(ctx, ob.tr, rsp)
 		}
-		polys, err := e.rewritingPolys(rctx, st, o, r)
+		err := e.gatherRewriting(rctx, st, o, r, perTuple, degraded)
 		ob.tr.End(rsp)
 		if err != nil {
 			ob.end(gs)
 			return nil, err
 		}
-		for k, p := range polys {
-			tc := perTuple[k]
-			if tc == nil {
-				if degraded {
-					continue
-				}
-				// A certified rewriting cannot produce extra tuples; guard
-				// anyway to surface bugs instead of silently diverging.
-				ob.end(gs)
-				return nil, fmt.Errorf("core: rewriting %s produced tuple outside the query result", r)
-			}
-			tc.PerRewriting = append(tc.PerRewriting, RewritingCitation{Rewriting: r, Poly: p})
-		}
 	}
 	ob.end(gs)
 
-	// Combine and render in deterministic tuple order: Plan.Eval's contract
-	// sorts out.Tuples by key, so order — built in that sequence — is
-	// already sorted and the citation order matches the tuple order.
-	// Rendering cancels per tuple and, inside a tuple, per token.
+	// Combine and render in deterministic tuple order, in place over the
+	// shared buffer. Rendering cancels per tuple and, inside a tuple, per
+	// token.
 	rd := ob.begin(obs.StageRender)
 	rdCtx := ob.ctxFor(ctx, rd)
 	ro := renderOptsFor(resil)
-	for _, k := range order {
+	for i := range res.Tuples {
 		if err := ctx.Err(); err != nil {
 			ob.end(rd)
 			return nil, err
 		}
-		tc := perTuple[k]
-		if err := e.combineTuple(rdCtx, st, ro, tc); err != nil {
+		if err := e.combineTuple(rdCtx, st, ro, &res.Tuples[i]); err != nil {
 			ob.end(rd)
 			return nil, err
 		}
-		res.Tuples = append(res.Tuples, *tc)
 	}
 	ob.end(rd)
 	res.Citation = e.aggregate(res.Tuples)
@@ -852,66 +840,6 @@ func (e *Engine) rewritingQuery(r *rewrite.Rewriting) (*cq.Query, []viewAtomInfo
 	}
 	q.Comps = append(q.Comps, r.Comps...)
 	return q, infos, nil
-}
-
-// rewritingPolys evaluates one rewriting over the execution database and
-// returns, per output-tuple key, the Σ-over-bindings polynomial of
-// Definition 3.2; each binding contributes the ·-product of its view tokens
-// (Definition 3.1) and, under Example 3.7's convention, C_R tokens for base
-// atoms. The rewriting's views must already be materialized.
-func (e *Engine) rewritingPolys(ctx context.Context, st *engineState, o CiteOptions, r *rewrite.Rewriting) (map[string]provenance.Poly, error) {
-	q, infos, err := e.rewritingQuery(r)
-	if err != nil {
-		return nil, err
-	}
-	nViewAtoms := len(infos)
-
-	polys := make(map[string]provenance.Poly)
-	err = st.exec.evalBindings(ctx, q, e.requestOpts(o), func(b eval.Binding, matches []eval.Match) error {
-		// Head tuple.
-		out := make(storage.Tuple, len(q.Head))
-		for i, t := range q.Head {
-			if t.IsConst {
-				out[i] = t.Value
-			} else {
-				out[i] = b[t.Name]
-			}
-		}
-		// Monomial: one view token per view atom (parameter values from
-		// the binding), plus C_R tokens for base atoms when configured.
-		var toks []provenance.Token
-		for ai, info := range infos {
-			params := make([]string, len(info.paramPos))
-			for pi, hp := range info.paramPos {
-				arg := q.Atoms[ai].Args[hp]
-				if arg.IsConst {
-					params[pi] = arg.Value
-				} else {
-					params[pi] = b[arg.Name]
-				}
-			}
-			toks = append(toks, NewViewToken(info.view.Name(), params...).Encode())
-		}
-		if e.policy.IncludeBaseTokens {
-			for _, a := range q.Atoms[nViewAtoms:] {
-				toks = append(toks, NewRelToken(a.Pred).Encode())
-			}
-		}
-		m := provenance.NewMonomial(toks...)
-		k := out.Key()
-		p, ok := polys[k]
-		if !ok {
-			p = provenance.NewPoly()
-		}
-		p.Add(m, 1)
-		polys[k] = p
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	e.normalizePolys(polys)
-	return polys, nil
 }
 
 // normalizePolys applies the policy's +-idempotence and order normal form to

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"citare/internal/citegraph"
 	"citare/internal/core"
 	"citare/internal/cq"
 	"citare/internal/format"
@@ -148,6 +149,14 @@ func GtoPdbQueries() []*cq.Query {
 			Comps: []cq.Comparison{{L: v("Ty"), Op: cq.OpEq, R: c("type-02")}},
 		},
 	}
+}
+
+// CiteGraphMix bridges the citegraph stress workload into the benchmark
+// harness: n datalog queries drawn with the long-tail service weights (Zipf
+// resolution/incoming probes dominating, deep joins in the tail), targeting
+// the same skewed hot works the instance's in-degree law concentrates on.
+func CiteGraphMix(cfg citegraph.Config, seed int64, n int) []string {
+	return citegraph.QueryMix(cfg, citegraph.DefaultMixWeights(), seed, n)
 }
 
 // RandomGtoPdbQuery draws a random conjunctive query over the GtoPdb schema

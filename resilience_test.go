@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"citare/internal/citegraph"
 	"citare/internal/eval"
 	"citare/internal/fault"
 	"citare/internal/gtopdb"
@@ -138,6 +139,65 @@ func TestChaosStalledShard(t *testing.T) {
 	}
 	if len(ct.Rows()) == 0 {
 		t.Fatal("degraded citation lost every tuple; surviving shards should still answer")
+	}
+}
+
+// TestCitegraphChaosParity runs the citegraph workload through the
+// resilient sharded engine (ISSUE 9 satellite 2): fault-free it is
+// byte-identical to the unsharded baseline; with one shard stalled the
+// strict policy fails fast with ErrShardUnavailable while MinShardCoverage
+// N-1 degrades into a partial citation whose coverage pins the stalled
+// shard.
+func TestCitegraphChaosParity(t *testing.T) {
+	const shards = 3
+	db := citegraph.Generate(citegraph.ScaleSmall())
+	base := citegraphCiter(t, db)
+
+	// Fault-free: the armor is invisible on the citegraph deep joins.
+	clean := shardedCitegraphCiter(t, db, shards, WithResilience(ResilienceConfig{Seed: 11}))
+	for _, q := range citegraphWorkload() {
+		want, err := cite(base, q)
+		if err != nil {
+			t.Fatalf("unsharded %s: %v", q.src, err)
+		}
+		got, err := cite(clean, q)
+		if err != nil {
+			t.Fatalf("resilient %s: %v", q.src, err)
+		}
+		if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+			t.Fatalf("%s:\n got %s\nwant %s", q.src, g, w)
+		}
+		if got.Coverage().Partial() {
+			t.Fatalf("%s: fault-free run reported partial coverage", q.src)
+		}
+	}
+
+	// One shard stalled. The hot-key probe targets the Zipf head, so under
+	// the default Cited routing the stalled shard may or may not own it —
+	// both outcomes are exercised across the workload's anchors.
+	const stalled = 1
+	in := fault.NewInjector(17)
+	in.SetFault(stalled, fault.ShardFault{Stall: true})
+	c := shardedCitegraphCiter(t, db, shards, WithResilience(chaosConfig()))
+	c.engine.SetShardWrapper(in.Wrap)
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	q := citegraph.IncomingQuery(citegraph.HotWork())
+	if _, err := c.Cite(context.Background(), Request{Datalog: q}); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("strict cite err = %v, want ErrShardUnavailable", err)
+	}
+	ct, err := c.Cite(context.Background(), Request{Datalog: q, MinShardCoverage: shards - 1})
+	var pe *PartialError
+	if !errors.As(err, &pe) || ct == nil {
+		t.Fatalf("degraded cite = (%v, %v), want citation + *PartialError", ct, err)
+	}
+	cov := ct.Coverage()
+	if cov == nil || cov.Shards != shards || cov.Skipped != 1 {
+		t.Fatalf("coverage %+v, want %d shards with exactly one skipped", cov, shards)
+	}
+	if cov.PerShard[stalled].State != eval.ShardSkipped {
+		t.Fatalf("stalled shard state %q, want %q", cov.PerShard[stalled].State, eval.ShardSkipped)
 	}
 }
 

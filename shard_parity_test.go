@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"citare/internal/citegraph"
 	"citare/internal/gtopdb"
 	"citare/internal/shard"
 	"citare/internal/storage"
@@ -62,6 +63,80 @@ func shardedPaperCiter(t *testing.T, db *storage.DB, shards int, opts ...Option)
 		t.Fatal(err)
 	}
 	return c
+}
+
+// citegraphWorkload exercises the citegraph policy library: hot-key probes
+// on the Zipf head, long-tail resolution, and the deep joins (co-citation,
+// two-hop chains, author-transitive provenance, venue roll-ups).
+func citegraphWorkload() []mixedQuery {
+	cfg := citegraph.ScaleSmall()
+	hot, tail := citegraph.HotWork(), citegraph.WorkID(cfg.Works-1)
+	return []mixedQuery{
+		{false, citegraph.ResolutionQuery(hot)},
+		{false, citegraph.ResolutionQuery(tail)},
+		{false, citegraph.IncomingQuery(hot)},
+		{false, citegraph.CoCitationQuery(hot)},
+		{false, citegraph.ChainQuery(tail)},
+		{false, citegraph.AuthorProvenanceQuery(citegraph.AuthorID(3))},
+		{false, citegraph.VenueRollupQuery(citegraph.VenueID(1))},
+	}
+}
+
+// citegraphCiter builds the unsharded baseline over a small citegraph
+// instance with the full policy library.
+func citegraphCiter(t *testing.T, db *storage.DB, opts ...Option) *Citer {
+	t.Helper()
+	c, err := NewFromProgram(db, citegraph.ViewsProgram,
+		append([]Option{WithNeutralCitation(citegraph.DatasetCitation())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// shardedCitegraphCiter partitions the same instance and builds the sharded
+// engine with identical options.
+func shardedCitegraphCiter(t *testing.T, db *storage.DB, shards int, opts ...Option) *Citer {
+	t.Helper()
+	sdb, err := shard.FromDB(db, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedFromProgram(sdb, citegraph.ViewsProgram,
+		append([]Option{WithNeutralCitation(citegraph.DatasetCitation())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCitegraphShardedParity: the citegraph workload — hot-key skew and deep
+// joins included — produces byte-identical citations through the sharded
+// engine for the ISSUE 9 shard counts, under both Cited and Citing routing
+// of the Cites relation.
+func TestCitegraphShardedParity(t *testing.T) {
+	for _, routing := range []string{"Cited", "Citing"} {
+		cfg := citegraph.ScaleSmall()
+		cfg.CitesShardKey = routing
+		db := citegraph.Generate(cfg)
+		base := citegraphCiter(t, db)
+		for _, shards := range []int{1, 3, 5} {
+			c := shardedCitegraphCiter(t, db, shards)
+			for _, q := range citegraphWorkload() {
+				want, err := cite(base, q)
+				if err != nil {
+					t.Fatalf("unsharded %s: %v", q.src, err)
+				}
+				got, err := cite(c, q)
+				if err != nil {
+					t.Fatalf("routing=%s shards=%d %s: %v", routing, shards, q.src, err)
+				}
+				if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+					t.Fatalf("routing=%s shards=%d %s:\n got %s\nwant %s", routing, shards, q.src, g, w)
+				}
+			}
+		}
+	}
 }
 
 // TestShardedEngineParity: for every query of the gtopdb and advisor

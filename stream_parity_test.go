@@ -13,8 +13,55 @@ import (
 	"strings"
 	"testing"
 
+	"citare/internal/citegraph"
 	"citare/internal/gtopdb"
 )
+
+// assertStreamMatchesCite checks that CiteEach streams exactly the tuples of
+// the materialized Cite result — values, order, index, polynomial, rendered
+// citation — for one request.
+func assertStreamMatchesCite(t *testing.T, c *Citer, req Request) {
+	t.Helper()
+	want, err := c.Cite(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := want.Rows()
+	i := 0
+	err = c.CiteEach(context.Background(), req, func(tu Tuple) error {
+		if i >= len(rows) {
+			return fmt.Errorf("streamed extra tuple %v", tu.Values)
+		}
+		if tu.Index != i {
+			return fmt.Errorf("tuple %d streamed with index %d", i, tu.Index)
+		}
+		if got, exp := strings.Join(tu.Values, "\x00"), strings.Join(rows[i], "\x00"); got != exp {
+			return fmt.Errorf("tuple %d values %q, want %q", i, tu.Values, rows[i])
+		}
+		wantPoly, err := want.TuplePolynomialAt(i)
+		if err != nil {
+			return err
+		}
+		if tu.Polynomial != wantPoly {
+			return fmt.Errorf("tuple %d polynomial:\n got %s\nwant %s", i, tu.Polynomial, wantPoly)
+		}
+		wantJSON, err := want.TupleCitationJSONAt(i)
+		if err != nil {
+			return err
+		}
+		if tu.CitationJSON != wantJSON {
+			return fmt.Errorf("tuple %d citation:\n got %s\nwant %s", i, tu.CitationJSON, wantJSON)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(rows) {
+		t.Fatalf("streamed %d tuples, want %d", i, len(rows))
+	}
+}
 
 func TestCiteEachMatchesCiteAllStrategies(t *testing.T) {
 	db := gtopdb.PaperInstance()
@@ -55,47 +102,33 @@ func TestCiteEachMatchesCiteAllStrategies(t *testing.T) {
 					} else {
 						req.Datalog = mq.src
 					}
-					want, err := cfg.citer.Cite(context.Background(), req)
-					if err != nil {
-						t.Fatal(err)
-					}
-					rows := want.Rows()
-					i := 0
-					err = cfg.citer.CiteEach(context.Background(), req, func(tu Tuple) error {
-						if i >= len(rows) {
-							return fmt.Errorf("streamed extra tuple %v", tu.Values)
-						}
-						if tu.Index != i {
-							return fmt.Errorf("tuple %d streamed with index %d", i, tu.Index)
-						}
-						if got, exp := strings.Join(tu.Values, "\x00"), strings.Join(rows[i], "\x00"); got != exp {
-							return fmt.Errorf("tuple %d values %q, want %q", i, tu.Values, rows[i])
-						}
-						wantPoly, err := want.TuplePolynomialAt(i)
-						if err != nil {
-							return err
-						}
-						if tu.Polynomial != wantPoly {
-							return fmt.Errorf("tuple %d polynomial:\n got %s\nwant %s", i, tu.Polynomial, wantPoly)
-						}
-						wantJSON, err := want.TupleCitationJSONAt(i)
-						if err != nil {
-							return err
-						}
-						if tu.CitationJSON != wantJSON {
-							return fmt.Errorf("tuple %d citation:\n got %s\nwant %s", i, tu.CitationJSON, wantJSON)
-						}
-						i++
-						return nil
-					})
-					if err != nil {
-						t.Fatal(err)
-					}
-					if i != len(rows) {
-						t.Fatalf("streamed %d tuples, want %d", i, len(rows))
-					}
+					assertStreamMatchesCite(t, cfg.citer, req)
 				})
 			}
+		}
+	}
+}
+
+// TestCitegraphStreamParity repeats the streamed-vs-materialized byte-parity
+// property on a small citegraph instance — hot-key probes and deep joins —
+// for the sequential, adaptive and scatter-gather strategies (ISSUE 9
+// satellite 2).
+func TestCitegraphStreamParity(t *testing.T) {
+	db := citegraph.Generate(citegraph.ScaleSmall())
+	cfgs := []struct {
+		name  string
+		citer *Citer
+	}{
+		{"sequential", citegraphCiter(t, db, WithParallelEval(1))},
+		{"adaptive", citegraphCiter(t, db)},
+		{"scatter-3", shardedCitegraphCiter(t, db, 3)},
+		{"scatter-5", shardedCitegraphCiter(t, db, 5)},
+	}
+	for _, cfg := range cfgs {
+		for qi, mq := range citegraphWorkload() {
+			t.Run(fmt.Sprintf("%s/q%d", cfg.name, qi), func(t *testing.T) {
+				assertStreamMatchesCite(t, cfg.citer, Request{Datalog: mq.src})
+			})
 		}
 	}
 }
