@@ -106,6 +106,7 @@ import (
 	"context"
 	"fmt"
 
+	"citare/internal/backend"
 	"citare/internal/core"
 	"citare/internal/datalog"
 	"citare/internal/eval"
@@ -149,6 +150,12 @@ const (
 type Citer struct {
 	engine *core.Engine
 	schema *storage.Schema
+	// back is the pluggable storage backend, set only by NewBackend — the
+	// handle AsOf builds version-pinned Citers from.
+	back backend.Backend
+	// opts are the resolved construction options, kept so AsOf can clone
+	// the configuration into the pinned Citer.
+	opts []Option
 }
 
 // Option customizes a Citer.
@@ -259,6 +266,62 @@ func NewShardedFromProgram(sdb *shard.DB, viewsProgram string, opts ...Option) (
 	}
 	return NewSharded(sdb, views, opts...)
 }
+
+// NewBackend assembles a Citer over a pluggable storage backend — the
+// in-memory backend.Memory or the persistent backend.LSM. The engine reads
+// through snapshot-isolated backend views (for the LSM backend, straight
+// from SSTable iterators; no in-memory copy of the data is built), and the
+// Citer keeps the backend handle so AsOf can cite against any committed
+// version. After writing to the backend, call Reset to publish the new
+// contents, exactly as with a database-backed Citer.
+func NewBackend(b backend.Backend, views []*CitationView, opts ...Option) (*Citer, error) {
+	pol, o := resolveOptions(opts)
+	engine, err := core.NewSourceEngine(backend.Head(b), views, pol)
+	if err != nil {
+		return nil, err
+	}
+	engine.SetEvalParallelism(o.parallel)
+	engine.SetResilience(o.resilience)
+	return &Citer{engine: engine, schema: b.Schema(), back: b, opts: opts}, nil
+}
+
+// NewBackendFromProgram is NewBackend from a citation-view program.
+func NewBackendFromProgram(b backend.Backend, viewsProgram string, opts ...Option) (*Citer, error) {
+	views, err := viewsFromProgram(viewsProgram)
+	if err != nil {
+		return nil, err
+	}
+	return NewBackend(b, views, opts...)
+}
+
+// AsOf returns a Citer pinned to a committed version of the backend: every
+// citation it computes reads the data as of that version (the paper's §4
+// fixity requirement — a citation must be able to bring back the cited
+// data). Only available on Citers built with NewBackend; the pinned Citer
+// shares the backend but compiles its own plans, and stays valid for as
+// long as the backend is open.
+func (c *Citer) AsOf(version uint64) (*Citer, error) {
+	if c.back == nil {
+		return nil, fmt.Errorf("citare: AsOf requires a backend-built Citer (NewBackend)")
+	}
+	if v, err := c.back.AsOf(version); err != nil { // validate the version now
+		return nil, err
+	} else {
+		v.Release()
+	}
+	pol, o := resolveOptions(c.opts)
+	engine, err := core.NewSourceEngine(backend.At(c.back, version), c.engine.Views(), pol)
+	if err != nil {
+		return nil, err
+	}
+	engine.SetEvalParallelism(o.parallel)
+	engine.SetResilience(o.resilience)
+	return &Citer{engine: engine, schema: c.back.Schema(), back: c.back, opts: c.opts}, nil
+}
+
+// Backend returns the Citer's storage backend (nil unless built with
+// NewBackend).
+func (c *Citer) Backend() backend.Backend { return c.back }
 
 // viewsFromProgram parses a citation-view program into citation views.
 func viewsFromProgram(viewsProgram string) ([]*CitationView, error) {

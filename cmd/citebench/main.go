@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"citare"
+	"citare/internal/backend"
 	"citare/internal/citegraph"
 	"citare/internal/core"
 	"citare/internal/cq"
@@ -38,6 +39,7 @@ import (
 	"citare/internal/eval"
 	"citare/internal/fault"
 	"citare/internal/gtopdb"
+	"citare/internal/lsm"
 	"citare/internal/obs"
 	"citare/internal/rewrite"
 	"citare/internal/shard"
@@ -48,7 +50,7 @@ import (
 var quick bool
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B24)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, B1..B25)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op) to this file and exit")
 	regress := flag.String("regress", "", "compare committed bench JSON files OLD,...,NEW pairwise and report allocs/op regressions")
 	strict := flag.Bool("strict", false, "with -regress: exit nonzero on regression (default warn-only, for single-core runners)")
@@ -104,6 +106,7 @@ func main() {
 		{"B22", "citegraph hot-key skew vs uniform shard routing", runB22},
 		{"B23", "citegraph mixed read/write-version traffic", runB23},
 		{"B24", "citegraph batch vs streaming client patterns", runB24},
+		{"B25", "LSM persistence: write throughput, cold open, read delta", runB25},
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -1140,6 +1143,129 @@ func runB24() error {
 	return nil
 }
 
+// runB25 measures the persistence tax of the LSM backend at stress scale
+// (-quick drops to the small instance): WAL-append write throughput for the
+// bulk load, the cold-open path — manifest + SSTable open time plus the
+// first citation, which materializes views straight off the SSTables — and
+// the steady-state read delta between the in-memory backend and the
+// persistent one serving the identical citegraph workload.
+func runB25() error {
+	cfg := citegraph.ScaleStress()
+	if quick {
+		cfg = citegraph.ScaleSmall()
+	}
+	dir, err := os.MkdirTemp("", "citebench-lsm-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db := citegraph.Generate(cfg)
+
+	// Write path: every insert is a WAL append + memtable put (+ periodic
+	// flush to SSTable); the closing flush makes the load fully durable.
+	lb, err := backend.OpenLSM(dir, citegraph.Schema(cfg), lsm.Options{MemtableBytes: 64 << 20})
+	if err != nil {
+		return err
+	}
+	n := 0
+	start := time.Now()
+	for _, rs := range db.Schema().Relations() {
+		var ierr error
+		db.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+			if ierr = lb.Insert(rs.Name, t...); ierr != nil {
+				return false
+			}
+			n++
+			return true
+		})
+		if ierr != nil {
+			return ierr
+		}
+	}
+	if _, err := lb.Commit("base"); err != nil {
+		return err
+	}
+	writeD := time.Since(start)
+	st := lb.Store().Stats()
+	fmt.Printf("   write: %d tuples in %v — %.0f tuples/s WAL-append + memtable (%d flushes, %d compactions so far)\n",
+		n, writeD.Round(time.Millisecond), float64(n)/writeD.Seconds(), st.Flushes, st.Compactions)
+	closeStart := time.Now()
+	if err := lb.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("   close (final flush + WAL sync): %v\n", time.Since(closeStart).Round(time.Millisecond))
+
+	// Cold open: manifest read, SSTable footers/indexes/blooms, WAL replay
+	// (empty after a clean close) — no data reload.
+	openStart := time.Now()
+	re, err := backend.OpenLSM(dir, nil, lsm.Options{})
+	if err != nil {
+		return err
+	}
+	defer re.Close()
+	openD := time.Since(openStart)
+	rst := re.Store().Stats()
+	tables := 0
+	for _, l := range rst.Levels {
+		tables += l.Tables
+	}
+	lsmCiter, err := citare.NewBackendFromProgram(re, citegraph.ViewsProgram,
+		citare.WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		return err
+	}
+	hot := citegraph.HotWork()
+	mid := citegraph.WorkID(cfg.Works / 120)
+	coldStart := time.Now()
+	if _, err := lsmCiter.CiteDatalog(citegraph.ResolutionQuery(hot)); err != nil {
+		return err
+	}
+	fmt.Printf("   cold open: %v to open (%d SSTables), %v to first citation (view materialization off SSTables)\n",
+		openD.Round(time.Millisecond), tables, time.Since(coldStart).Round(time.Millisecond))
+
+	// Read delta: identical queries, identical data, in-memory vs LSM-backed
+	// citer, both past their cold pass. Steady-state reads come out of the
+	// materialized views on both sides, so the delta stays small — the
+	// persistence tax is paid at write and open time, not per read.
+	memCiter, err := citare.NewFromProgram(db, citegraph.ViewsProgram,
+		citare.WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		return err
+	}
+	cases := []struct {
+		name    string
+		datalog string
+		iters   int
+	}{
+		{"resolution/hot", citegraph.ResolutionQuery(hot), 50},
+		{"incoming/mid", citegraph.IncomingQuery(mid), 10},
+		{"venue-rollup", citegraph.VenueRollupQuery(citegraph.VenueID(3)), 5},
+	}
+	fmt.Println("   | query          |   memory/op |      lsm/op | delta |")
+	fmt.Println("   |----------------|------------:|------------:|------:|")
+	for _, tc := range cases {
+		warm := func(c *citare.Citer) error { _, err := c.CiteDatalog(tc.datalog); return err }
+		if err := warm(memCiter); err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		if err := warm(lsmCiter); err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		memD, err := timed(tc.iters, func() error { return warm(memCiter) })
+		if err != nil {
+			return err
+		}
+		lsmD, err := timed(tc.iters, func() error { return warm(lsmCiter) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   | %-14s | %11v | %11v | %4.2fx |\n", tc.name,
+			memD.Round(time.Microsecond), lsmD.Round(time.Microsecond),
+			float64(lsmD)/float64(memD))
+	}
+	return nil
+}
+
 // allocRegressionTolerance is the allocs/op ratio (new/old) above which a
 // benchmark counts as regressed. Generous on purpose: allocation counts are
 // deterministic but small suites jitter a little with map layouts and LRU
@@ -1385,6 +1511,57 @@ func writeBenchJSON(path string) error {
 	}
 	cgVer, _ := citegraph.GenerateVersioned(cgCfg, 2, 40)
 	verNext := 1000000 // WorkIDs far past anything the generator handed out
+
+	// B25 persistence entries: the small citegraph instance in a temp LSM
+	// store. One populated store backs the reopen and read-delta entries;
+	// a second, write-only store takes the WAL-append and commit entries so
+	// the read store's level layout stays fixed across iterations.
+	lsmDir, err := os.MkdirTemp("", "citebench-lsm-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(lsmDir)
+	readDir, writeDir := lsmDir+"/read", lsmDir+"/write"
+	seed, err := backend.OpenLSM(readDir, citegraph.Schema(cgCfg), lsm.Options{})
+	if err != nil {
+		return err
+	}
+	cgDB := citegraph.Generate(cgCfg)
+	for _, rs := range cgDB.Schema().Relations() {
+		var ierr error
+		cgDB.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+			ierr = seed.Insert(rs.Name, t...)
+			return ierr == nil
+		})
+		if ierr != nil {
+			return ierr
+		}
+	}
+	if _, err := seed.Commit("base"); err != nil {
+		return err
+	}
+	if err := seed.Close(); err != nil {
+		return err
+	}
+	lsmBack, err := backend.OpenLSM(readDir, nil, lsm.Options{})
+	if err != nil {
+		return err
+	}
+	defer lsmBack.Close()
+	lsmCiter, err := citare.NewBackendFromProgram(lsmBack, citegraph.ViewsProgram,
+		citare.WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		return err
+	}
+	if _, err := lsmCiter.CiteDatalog(cgQueries[0]); err != nil { // materialize views off SSTables
+		return err
+	}
+	writeBack, err := backend.OpenLSM(writeDir, citegraph.Schema(cgCfg), lsm.Options{})
+	if err != nil {
+		return err
+	}
+	defer writeBack.Close()
+	lsmNext := 2000000 // disjoint from both the generator and the B23 entry
 
 	mustCite := func(b *testing.B, c *citare.Citer, q string) {
 		if _, err := c.CiteDatalog(q); err != nil {
@@ -1646,6 +1823,46 @@ func writeBenchJSON(path string) error {
 				if err := cgCiter.CiteEach(context.Background(), req, func(citare.Tuple) error { return nil }); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		// LSM persistence entries (B25): the write path (WAL append +
+		// memtable put), the durable-commit fsync, reopen-from-disk cost,
+		// and the read-delta twin of citegraph/cite/resolution-hot.
+		{"lsm/insert/wal-append/scale=small", func(b *testing.B) { // B25 write path
+			for i := 0; i < b.N; i++ {
+				w := citegraph.WorkID(lsmNext)
+				lsmNext++
+				if err := writeBack.Insert("Work", w, "Bench "+w, citegraph.VenueID(0), "2026"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"lsm/commit/fsync", func(b *testing.B) { // B25 durability point
+			for i := 0; i < b.N; i++ {
+				w := citegraph.WorkID(lsmNext)
+				lsmNext++
+				if err := writeBack.Insert("Work", w, "Bench "+w, citegraph.VenueID(0), "2026"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := writeBack.Commit("bench-" + w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"lsm/reopen/scale=small", func(b *testing.B) { // B25 cold open
+			for i := 0; i < b.N; i++ {
+				re, err := backend.OpenLSM(readDir, nil, lsm.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := re.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"lsm/cite/resolution-hot/scale=small", func(b *testing.B) { // B25 read delta vs citegraph/cite/resolution-hot
+			for i := 0; i < b.N; i++ {
+				mustCite(b, lsmCiter, cgQueries[0])
 			}
 		}},
 	}

@@ -168,6 +168,21 @@
 // -slow-threshold 0 disables capture.
 //
 // GET /debug/pprof/ exposes the standard runtime profiles.
+//
+// # Persistence
+//
+// With -data-dir the server keeps the database in a log-structured store
+// on disk (internal/lsm). The first boot seeds the store from -data (or
+// the paper instance) and commits it as version 1; every later boot
+// recovers the exact state from the WAL and SSTables — no CSV reload —
+// including all committed versions for time travel. On shutdown the
+// memtable is flushed and the WAL synced, so a restart reopens without
+// replay work. Store internals (memtable and WAL bytes, per-level SSTable
+// counts, flush and compaction totals) appear in the "lsm" section of
+// /stats and as citare_lsm_* series on /metrics. With -shards N > 1 the
+// persistent head snapshot is hash-partitioned into memory for
+// scatter-gather serving; the store on disk stays the durable source of
+// truth.
 package main
 
 import (
@@ -187,8 +202,10 @@ import (
 	"time"
 
 	"citare"
+	"citare/internal/backend"
 	"citare/internal/eval"
 	"citare/internal/gtopdb"
+	"citare/internal/lsm"
 	"citare/internal/obs"
 	"citare/internal/shard"
 	"citare/internal/storage"
@@ -211,6 +228,10 @@ type server struct {
 	slow     *slowLog      // /v1/slow ring; nil = capture disabled
 	idPrefix string        // per-process request-ID prefix
 	reqSeq   atomic.Uint64 // request-ID sequence
+
+	// lsm is the persistent store behind -data-dir; nil on an in-memory
+	// server. Surfaced on /stats ("lsm" section) and /metrics.
+	lsm *lsm.Store
 }
 
 // citeRequest is the v1 wire form of one citation request (the legacy
@@ -633,6 +654,10 @@ type statsResponse struct {
 	// Breakers reports each shard's circuit-breaker state on a resilient
 	// sharded server; absent otherwise.
 	Breakers []eval.BreakerInfo `json:"breakers,omitempty"`
+	// LSM reports the persistent store internals (memtable, WAL, per-level
+	// SSTable counts, flush/compaction totals) when the server runs with
+	// -data-dir; absent on an in-memory server.
+	LSM *lsm.StoreStats `json:"lsm,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -656,6 +681,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.UptimeSeconds = time.Since(s.start).Seconds()
 	}
 	resp.Breakers = eng.BreakerStates()
+	if s.lsm != nil {
+		st := s.lsm.Stats()
+		resp.LSM = &st
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("citesrv: encode: %v", err)
@@ -755,6 +784,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8437", "listen address")
 		dataDir   = flag.String("data", "", "directory of <Relation>.csv files (defaults to the paper instance)")
+		lsmDir    = flag.String("data-dir", "", "persistent LSM store directory: recover on boot if populated, else seed from -data or the paper instance")
 		viewsPath = flag.String("views", "", "citation-views program file (defaults to the paper's views)")
 		parallel  = flag.Int("parallel", 0, "binding-enumeration workers per query (0 = adaptive from plan cardinalities, 1 = sequential)")
 		shards    = flag.Int("shards", 1, "hash-partition the database across N shards (<=1 unsharded)")
@@ -781,7 +811,7 @@ func main() {
 		}
 		viewsProgram = string(raw)
 	}
-	if *dataDir != "" {
+	loadCSV := func() {
 		db = storage.NewDB(gtopdb.Schema())
 		if _, err := storage.LoadDir(db, *dataDir); err != nil {
 			log.Fatalf("citesrv: %v", err)
@@ -794,14 +824,64 @@ func main() {
 	var (
 		citer *citare.Citer
 		err   error
+		pers  *backend.LSM // persistent backend behind -data-dir; nil otherwise
 	)
-	if *shards > 1 {
+	if *lsmDir != "" {
+		pers, err = backend.OpenLSM(*lsmDir, gtopdb.Schema(), lsm.Options{})
+		if err != nil {
+			log.Fatalf("citesrv: open persistent store %s: %v", *lsmDir, err)
+		}
+		if storeIsEmpty(pers) {
+			// First boot: seed the store from -data (or the paper instance)
+			// and commit it as version 1. Every later boot recovers from the
+			// WAL and SSTables instead — no CSV reload.
+			if *dataDir != "" {
+				loadCSV()
+			}
+			n, serr := seedStore(pers, db)
+			if serr != nil {
+				log.Fatalf("citesrv: seed persistent store %s: %v", *lsmDir, serr)
+			}
+			log.Printf("citesrv: seeded persistent store %s (%d tuples, committed as version 1)", *lsmDir, n)
+		} else {
+			if *dataDir != "" {
+				log.Printf("citesrv: persistent store %s already populated; ignoring -data", *lsmDir)
+			}
+			st := pers.Store().Stats()
+			total := 0
+			for _, n := range st.Live {
+				total += n
+			}
+			log.Printf("citesrv: recovered persistent store %s (version %d, %d live tuples, %d committed versions)",
+				*lsmDir, st.Version, total, len(pers.Versions()))
+		}
+	} else if *dataDir != "" {
+		loadCSV()
+	}
+	switch {
+	case pers != nil && *shards > 1:
+		// Sharded serving over persistent data: hash-partition an in-memory
+		// copy of the store's head snapshot for scatter-gather evaluation.
+		// The store on disk stays the durable source of truth.
+		v, verr := pers.Snapshot()
+		if verr != nil {
+			log.Fatalf("citesrv: %v", verr)
+		}
+		sdb, serr := shard.FromView(pers.Schema(), v, *shards)
+		v.Release()
+		if serr != nil {
+			log.Fatalf("citesrv: %v", serr)
+		}
+		citer, err = citare.NewShardedFromProgram(sdb, viewsProgram, opts...)
+	case pers != nil:
+		citer, err = citare.NewBackendFromProgram(pers, viewsProgram, opts...)
+	case *shards > 1:
 		sdb, serr := shard.FromDB(db, *shards)
 		if serr != nil {
 			log.Fatalf("citesrv: %v", serr)
 		}
 		citer, err = citare.NewShardedFromProgram(sdb, viewsProgram, opts...)
-	} else {
+	default:
 		*shards = 1
 		citer, err = citare.NewFromProgram(db, viewsProgram, opts...)
 	}
@@ -819,6 +899,9 @@ func main() {
 		quiet:        *quiet,
 		slow:         newSlowLog(*slowThr, *slowCap),
 		idPrefix:     fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
+	}
+	if pers != nil {
+		s.lsm = pers.Store()
 	}
 	s.initObservability()
 	// Resilience wires up after the registry exists so its retry/hedge/
@@ -847,5 +930,51 @@ func main() {
 	if err := s.serve(ctx, l); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("citesrv: %v", err)
 	}
+	if pers != nil {
+		// Flush the memtable and sync the WAL so the next boot recovers the
+		// exact served state without replay work.
+		if cerr := pers.Close(); cerr != nil {
+			log.Fatalf("citesrv: close persistent store: %v", cerr)
+		}
+		log.Printf("citesrv: persistent store flushed and closed")
+	}
 	log.Printf("citesrv: drained, bye")
+}
+
+// storeIsEmpty reports whether a just-opened persistent store has neither
+// committed versions nor live tuples — i.e. this is the first boot and the
+// store needs seeding.
+func storeIsEmpty(b *backend.LSM) bool {
+	if len(b.Versions()) > 0 {
+		return false
+	}
+	for _, n := range b.Store().Stats().Live {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// seedStore copies every live tuple of db into the persistent backend and
+// commits the result as version 1, returning the tuple count.
+func seedStore(b *backend.LSM, db *storage.DB) (int, error) {
+	n := 0
+	for _, rs := range db.Schema().Relations() {
+		var ierr error
+		db.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+			if ierr = b.Insert(rs.Name, t...); ierr != nil {
+				return false
+			}
+			n++
+			return true
+		})
+		if ierr != nil {
+			return n, ierr
+		}
+	}
+	if _, err := b.Commit("initial load"); err != nil {
+		return n, err
+	}
+	return n, nil
 }

@@ -82,6 +82,47 @@ func (s *server) initObservability() {
 		}
 	}
 
+	// Persistent deployments (-data-dir): LSM store internals. Levels are
+	// fixed (0 = fresh flushes, 1 = compacted), so per-level series are
+	// registered statically.
+	if st := s.lsm; st != nil {
+		s.reg.GaugeFunc("citare_lsm_version",
+			"Current (uncommitted) version of the persistent store.",
+			func() float64 { return float64(st.Version()) })
+		s.reg.GaugeFunc("citare_lsm_memtable_bytes",
+			"Approximate bytes held in the LSM memtable.",
+			func() float64 { return float64(st.Stats().MemtableBytes) })
+		s.reg.GaugeFunc("citare_lsm_wal_bytes",
+			"Bytes appended to the write-ahead log since the last flush.",
+			func() float64 { return float64(st.Stats().WALBytes) })
+		s.reg.CounterFunc("citare_lsm_flushes_total",
+			"Memtable flushes to SSTable since open.",
+			func() uint64 { return st.Stats().Flushes })
+		s.reg.CounterFunc("citare_lsm_compactions_total",
+			"Background compactions completed since open.",
+			func() uint64 { return st.Stats().Compactions })
+		for lvl := 0; lvl < 2; lvl++ {
+			lvl := lvl
+			label := obs.Label{Key: "level", Value: strconv.Itoa(lvl)}
+			s.reg.GaugeFunc("citare_lsm_sstables",
+				"SSTables per LSM level.",
+				func() float64 {
+					if ls := st.Stats().Levels; lvl < len(ls) {
+						return float64(ls[lvl].Tables)
+					}
+					return 0
+				}, label)
+			s.reg.GaugeFunc("citare_lsm_sstable_bytes",
+				"SSTable bytes per LSM level.",
+				func() float64 {
+					if ls := st.Stats().Levels; lvl < len(ls) {
+						return float64(ls[lvl].Bytes)
+					}
+					return 0
+				}, label)
+		}
+	}
+
 	s.reg.GaugeFunc("citare_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })

@@ -1,0 +1,348 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"citare/internal/lsm"
+	"citare/internal/storage"
+)
+
+// Conformance suite (ISSUE 10 satellite 3): every Backend implementation
+// must agree on insert/delete/scan/lookup semantics, snapshot isolation and
+// versioned reads. The in-memory backend is the reference; the LSM backend
+// must be observationally identical through the interface.
+
+func confSchema() *storage.Schema {
+	s := storage.NewSchema()
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "ligand",
+		Cols: []storage.Column{
+			{Name: "id", Type: storage.TInt},
+			{Name: "name", Type: storage.TString},
+			{Name: "family", Type: storage.TString},
+		},
+		Key: []string{"id"},
+	})
+	s.MustAddRelation(&storage.RelSchema{
+		Name: "cites",
+		Cols: []storage.Column{{Name: "src", Type: storage.TString}, {Name: "dst", Type: storage.TString}},
+	})
+	return s
+}
+
+func eachBackend(t *testing.T, fn func(t *testing.T, b Backend)) {
+	t.Helper()
+	t.Run("memory", func(t *testing.T) {
+		b := NewMemory(confSchema())
+		defer b.Close()
+		fn(t, b)
+	})
+	t.Run("lsm", func(t *testing.T) {
+		b, err := OpenLSM(t.TempDir(), confSchema(), lsm.Options{
+			// Tiny memtable so the suite crosses the flush boundary and
+			// exercises SSTable reads, not just the memtable.
+			MemtableBytes:               1 << 10,
+			DisableBackgroundCompaction: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		fn(t, b)
+	})
+}
+
+func viewRows(t *testing.T, v View, rel string) []string {
+	t.Helper()
+	r := v.Relation(rel)
+	if r == nil {
+		t.Fatalf("relation %s missing", rel)
+	}
+	var out []string
+	r.Scan(func(tu storage.Tuple) bool {
+		out = append(out, strings.Join(tu, "|"))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func lookupRows(t *testing.T, v View, rel string, cols []int, vals []string) []string {
+	t.Helper()
+	var out []string
+	v.Relation(rel).Lookup(cols, vals, func(tu storage.Tuple) bool {
+		out = append(out, strings.Join(tu, "|"))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func TestConformanceWriteSemantics(t *testing.T) {
+	eachBackend(t, func(t *testing.T, b Backend) {
+		if err := b.Insert("ligand", "1", "histamine", "amine"); err != nil {
+			t.Fatal(err)
+		}
+		// Live duplicate: silent no-op.
+		if err := b.Insert("ligand", "1", "histamine", "amine"); err != nil {
+			t.Fatalf("duplicate insert: %v", err)
+		}
+		// Same key, different tuple: error.
+		if err := b.Insert("ligand", "1", "other", "x"); err == nil {
+			t.Fatal("primary-key clash accepted")
+		}
+		// Arity and type violations: error, nothing stored.
+		if err := b.Insert("ligand", "2", "x"); err == nil {
+			t.Fatal("arity violation accepted")
+		}
+		if err := b.Insert("ligand", "notanint", "x", "y"); err == nil {
+			t.Fatal("type violation accepted")
+		}
+		if err := b.Insert("nosuchrel", "x"); err == nil {
+			t.Fatal("unknown relation accepted")
+		}
+		// Delete of a missing tuple: (false, nil).
+		if ok, err := b.Delete("ligand", "9", "x", "y"); ok || err != nil {
+			t.Fatalf("phantom delete: %v %v", ok, err)
+		}
+		if ok, err := b.Delete("ligand", "1", "histamine", "amine"); !ok || err != nil {
+			t.Fatalf("delete: %v %v", ok, err)
+		}
+		// Key is free again after the delete.
+		if err := b.Insert("ligand", "1", "other", "x"); err != nil {
+			t.Fatalf("reinsert after delete: %v", err)
+		}
+		v, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Release()
+		if got := viewRows(t, v, "ligand"); fmt.Sprint(got) != fmt.Sprint([]string{"1|other|x"}) {
+			t.Fatalf("final state: %v", got)
+		}
+		if v.Relation("nosuchrel") != nil {
+			t.Fatal("unknown relation view must be nil")
+		}
+	})
+}
+
+func TestConformanceScanAndLookup(t *testing.T) {
+	eachBackend(t, func(t *testing.T, b Backend) {
+		rows := [][3]string{
+			{"1", "histamine", "amine"},
+			{"2", "serotonin", "amine"},
+			{"3", "ATP", "nucleotide"},
+			{"4", "adenosine", "nucleotide"},
+		}
+		for _, r := range rows {
+			if err := b.Insert("ligand", r[0], r[1], r[2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 40; i++ { // push LSM past its tiny memtable
+			b.Insert("cites", fmt.Sprintf("p%02d", i), fmt.Sprintf("q%02d", i%7))
+		}
+		v, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Release()
+		if n := v.Relation("ligand").Len(); n != 4 {
+			t.Fatalf("ligand Len = %d", n)
+		}
+		if n := v.Relation("cites").Len(); n != 40 {
+			t.Fatalf("cites Len = %d", n)
+		}
+		if got := len(viewRows(t, v, "cites")); got != 40 {
+			t.Fatalf("cites scan = %d rows", got)
+		}
+		// Lookup by key column, non-key column, and multi-column.
+		if got := lookupRows(t, v, "ligand", []int{0}, []string{"3"}); fmt.Sprint(got) != fmt.Sprint([]string{"3|ATP|nucleotide"}) {
+			t.Fatalf("lookup id=3: %v", got)
+		}
+		want := []string{"1|histamine|amine", "2|serotonin|amine"}
+		if got := lookupRows(t, v, "ligand", []int{2}, []string{"amine"}); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("lookup family=amine: %v", got)
+		}
+		if got := lookupRows(t, v, "ligand", []int{2, 1}, []string{"amine", "serotonin"}); fmt.Sprint(got) != fmt.Sprint([]string{"2|serotonin|amine"}) {
+			t.Fatalf("lookup family+name: %v", got)
+		}
+		if got := lookupRows(t, v, "cites", []int{1}, []string{"q03"}); len(got) != 6 {
+			t.Fatalf("lookup dst=q03: %v", got)
+		}
+		if got := lookupRows(t, v, "ligand", []int{0}, []string{"99"}); len(got) != 0 {
+			t.Fatalf("lookup miss: %v", got)
+		}
+	})
+}
+
+func TestConformanceSnapshotIsolation(t *testing.T) {
+	eachBackend(t, func(t *testing.T, b Backend) {
+		b.Insert("cites", "a", "b")
+		v, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Release()
+		b.Insert("cites", "c", "d")
+		b.Delete("cites", "a", "b")
+		if got := viewRows(t, v, "cites"); fmt.Sprint(got) != fmt.Sprint([]string{"a|b"}) {
+			t.Fatalf("snapshot leaked later writes: %v", got)
+		}
+		if n := v.Relation("cites").Len(); n != 1 {
+			t.Fatalf("snapshot Len = %d", n)
+		}
+		head, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer head.Release()
+		if got := viewRows(t, head, "cites"); fmt.Sprint(got) != fmt.Sprint([]string{"c|d"}) {
+			t.Fatalf("head: %v", got)
+		}
+	})
+}
+
+func TestConformanceVersionedReads(t *testing.T) {
+	eachBackend(t, func(t *testing.T, b Backend) {
+		b.Insert("ligand", "1", "histamine", "amine")
+		v1, err := b.Commit("2015.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Insert("ligand", "2", "serotonin", "amine")
+		b.Delete("ligand", "1", "histamine", "amine")
+		v2, err := b.Commit("2015.2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Insert("ligand", "1", "histamine-v2", "amine")
+		if got := b.Versions(); fmt.Sprint(got) != fmt.Sprint([]uint64{v1, v2}) {
+			t.Fatalf("versions: %v", got)
+		}
+		if b.Label(v1) != "2015.1" || b.Label(v2) != "2015.2" {
+			t.Fatalf("labels: %q %q", b.Label(v1), b.Label(v2))
+		}
+		at1, err := b.AsOf(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer at1.Release()
+		if got := viewRows(t, at1, "ligand"); fmt.Sprint(got) != fmt.Sprint([]string{"1|histamine|amine"}) {
+			t.Fatalf("AsOf(%d): %v", v1, got)
+		}
+		if n := at1.Relation("ligand").Len(); n != 1 {
+			t.Fatalf("AsOf(%d).Len = %d", v1, n)
+		}
+		at2, err := b.AsOf(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer at2.Release()
+		if got := viewRows(t, at2, "ligand"); fmt.Sprint(got) != fmt.Sprint([]string{"2|serotonin|amine"}) {
+			t.Fatalf("AsOf(%d): %v", v2, got)
+		}
+		head, _ := b.Snapshot()
+		defer head.Release()
+		want := []string{"1|histamine-v2|amine", "2|serotonin|amine"}
+		if got := viewRows(t, head, "ligand"); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("head: %v", got)
+		}
+		if _, err := b.AsOf(0); err == nil {
+			t.Fatal("AsOf(0) accepted")
+		}
+		if _, err := b.AsOf(99); err == nil {
+			t.Fatal("AsOf far future accepted")
+		}
+	})
+}
+
+// TestConformanceCrossBackendParity drives both backends through one
+// randomized-ish workload and checks every observable — scans, lookups,
+// versioned reads, labels — is byte-identical between them.
+func TestConformanceCrossBackendParity(t *testing.T) {
+	mem := NewMemory(confSchema())
+	defer mem.Close()
+	ldir := t.TempDir()
+	lsmB, err := OpenLSM(ldir, confSchema(), lsm.Options{MemtableBytes: 1 << 10, DisableBackgroundCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []Backend{mem, lsmB}
+	apply := func(f func(b Backend) error) {
+		t.Helper()
+		for i, b := range backends {
+			if err := f(b); err != nil {
+				t.Fatalf("backend %d: %v", i, err)
+			}
+		}
+	}
+	for i := 0; i < 120; i++ {
+		src := fmt.Sprintf("p%03d", i%30)
+		dst := fmt.Sprintf("q%03d", (i*7)%23)
+		switch {
+		case i%11 == 3:
+			apply(func(b Backend) error { _, err := b.Delete("cites", src, dst); return err })
+		case i%17 == 5:
+			apply(func(b Backend) error { _, err := b.Commit(fmt.Sprintf("v%d", i)); return err })
+		default:
+			apply(func(b Backend) error { return b.Insert("cites", src, dst) })
+		}
+	}
+	apply(func(b Backend) error { _, err := b.Commit("final"); return err })
+	// Reopen the LSM side from disk: parity must hold across restart too.
+	if err := lsmB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenLSM(ldir, nil, lsm.Options{DisableBackgroundCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	backends[1] = reopened
+
+	if a, b := mem.Versions(), reopened.Versions(); fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("version lists diverge: %v vs %v", a, b)
+	}
+	for _, ver := range mem.Versions() {
+		if a, b := mem.Label(ver), reopened.Label(ver); a != b {
+			t.Fatalf("label(%d): %q vs %q", ver, a, b)
+		}
+		va, err := mem.AsOf(ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := reopened.AsOf(ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, rb := viewRows(t, va, "cites"), viewRows(t, vb, "cites")
+		if fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("AsOf(%d) diverges:\n mem %v\n lsm %v", ver, ra, rb)
+		}
+		if la, lb := va.Relation("cites").Len(), vb.Relation("cites").Len(); la != lb {
+			t.Fatalf("AsOf(%d) Len: %d vs %d", ver, la, lb)
+		}
+		va.Release()
+		vb.Release()
+	}
+	ha, _ := mem.Snapshot()
+	hb, _ := reopened.Snapshot()
+	defer ha.Release()
+	defer hb.Release()
+	if a, b := viewRows(t, ha, "cites"), viewRows(t, hb, "cites"); fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("head diverges:\n mem %v\n lsm %v", a, b)
+	}
+	for col := 0; col < 2; col++ {
+		for _, val := range []string{"p003", "q007", "zzz"} {
+			a := lookupRows(t, ha, "cites", []int{col}, []string{val})
+			b := lookupRows(t, hb, "cites", []int{col}, []string{val})
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("lookup col %d %q diverges: %v vs %v", col, val, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package backend
+
+import (
+	"citare/internal/eval"
+	"citare/internal/storage"
+)
+
+// Memory is the in-memory backend: the copy-on-write storage.DB enforces
+// set semantics, types and primary keys on the write path, and a
+// storage.VersionedDB row log kept in lockstep provides AsOf time travel.
+// It is not durable — Close discards nothing because there is nothing on
+// disk — but it is the reference implementation the LSM backend's
+// conformance suite compares against.
+type Memory struct {
+	db  *storage.DB
+	vdb *storage.VersionedDB
+}
+
+// NewMemory creates an empty in-memory backend.
+func NewMemory(schema *storage.Schema) *Memory {
+	return &Memory{db: storage.NewDB(schema), vdb: storage.NewVersionedDB(schema)}
+}
+
+// MemoryFromDB adopts an existing live database: its current contents become
+// version 1 of the history.
+func MemoryFromDB(db *storage.DB) (*Memory, error) {
+	m := &Memory{db: db, vdb: storage.NewVersionedDB(db.Schema())}
+	for _, rs := range db.Schema().Relations() {
+		var ierr error
+		db.Relation(rs.Name).Scan(func(t storage.Tuple) bool {
+			if err := m.vdb.Insert(rs.Name, t...); err != nil {
+				ierr = err
+				return false
+			}
+			return true
+		})
+		if ierr != nil {
+			return nil, ierr
+		}
+	}
+	return m, nil
+}
+
+// DB returns the live database handle.
+func (m *Memory) DB() *storage.DB { return m.db }
+
+// Schema returns the backend schema.
+func (m *Memory) Schema() *storage.Schema { return m.db.Schema() }
+
+// Insert adds a tuple at the current version. The live store validates
+// first, so a rejected tuple (type, arity, primary key) never reaches the
+// history.
+func (m *Memory) Insert(rel string, vals ...string) error {
+	if err := m.db.Insert(rel, vals...); err != nil {
+		return err
+	}
+	return m.vdb.Insert(rel, vals...)
+}
+
+// Delete removes a live tuple, reporting whether it was live.
+func (m *Memory) Delete(rel string, vals ...string) (bool, error) {
+	ok, err := m.db.Delete(rel, vals...)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return m.vdb.Delete(rel, vals...)
+}
+
+// Commit freezes the current version and advances.
+func (m *Memory) Commit(label string) (uint64, error) {
+	return m.vdb.Commit(label), nil
+}
+
+// Version returns the current (uncommitted) version number.
+func (m *Memory) Version() uint64 { return m.vdb.Version() }
+
+// Versions lists committed version numbers in ascending order.
+func (m *Memory) Versions() []uint64 { return m.vdb.Versions() }
+
+// Label returns the label of a committed version, if any.
+func (m *Memory) Label(version uint64) string { return m.vdb.Label(version) }
+
+// memView wraps a snapshot database; releasing is a no-op (the garbage
+// collector owns everything).
+type memView struct{ v eval.DBView }
+
+func (m memView) Relation(name string) eval.RelView { return m.v.Relation(name) }
+func (m memView) Release()                          {}
+
+// Snapshot views the current state.
+func (m *Memory) Snapshot() (View, error) {
+	return memView{v: eval.DBViewOf(m.db.Snapshot())}, nil
+}
+
+// AsOf views a committed version.
+func (m *Memory) AsOf(version uint64) (View, error) {
+	db, err := m.vdb.AsOf(version)
+	if err != nil {
+		return nil, err
+	}
+	return memView{v: eval.DBViewOf(db)}, nil
+}
+
+// Close is a no-op for the in-memory backend.
+func (m *Memory) Close() error { return nil }

@@ -53,8 +53,9 @@ const maxCachedQueries = 512
 // the cache-miss path of citare.CachedCiter — therefore skip rewriting
 // enumeration and plan compilation entirely.
 type Engine struct {
-	db     *storage.DB // live database handle, re-snapshotted on Reset
-	sdb    *shard.DB   // sharded mode: live partitioned database (db is nil)
+	db     *storage.DB    // live database handle, re-snapshotted on Reset
+	sdb    *shard.DB      // sharded mode: live partitioned database (db is nil)
+	src    SnapshotSource // source mode: pluggable backend (db and sdb are nil)
 	views  []*CitationView
 	byName map[string]*CitationView
 	policy Policy
@@ -137,7 +138,7 @@ type engineState struct {
 
 // NewEngine assembles an engine. View names must be unique.
 func NewEngine(db *storage.DB, views []*CitationView, policy Policy) (*Engine, error) {
-	return newEngine(db, nil, views, policy)
+	return newEngine(db, nil, nil, views, policy)
 }
 
 // NewShardedEngine assembles an engine over a hash-partitioned database:
@@ -146,13 +147,14 @@ func NewEngine(db *storage.DB, views []*CitationView, policy Policy) (*Engine, e
 // execution database is partitioned the same way. Output is byte-identical
 // to an unsharded engine over the same data.
 func NewShardedEngine(sdb *shard.DB, views []*CitationView, policy Policy) (*Engine, error) {
-	return newEngine(nil, sdb, views, policy)
+	return newEngine(nil, sdb, nil, views, policy)
 }
 
-func newEngine(db *storage.DB, sdb *shard.DB, views []*CitationView, policy Policy) (*Engine, error) {
+func newEngine(db *storage.DB, sdb *shard.DB, src SnapshotSource, views []*CitationView, policy Policy) (*Engine, error) {
 	e := &Engine{
 		db:         db,
 		sdb:        sdb,
+		src:        src,
 		views:      views,
 		byName:     make(map[string]*CitationView, len(views)),
 		policy:     policy,
@@ -303,6 +305,9 @@ func (e *Engine) Reset() error {
 // execution database is partitioned the same way, so rewriting evaluation
 // scatter-gathers too.
 func (e *Engine) buildState(epoch uint64) (*engineState, error) {
+	if e.src != nil {
+		return e.buildSourceState(epoch)
+	}
 	schema := e.baseSchema()
 	s := storage.NewSchema()
 	for _, rs := range schema.Relations() {
@@ -376,6 +381,9 @@ func (e *Engine) buildState(epoch uint64) (*engineState, error) {
 
 // baseSchema returns the schema of the engine's live store.
 func (e *Engine) baseSchema() *storage.Schema {
+	if e.src != nil {
+		return e.src.Schema()
+	}
 	if e.sdb != nil {
 		return e.sdb.Schema()
 	}

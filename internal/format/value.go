@@ -233,7 +233,21 @@ func writeJSON(sb *strings.Builder, v Value, indent, depth int) {
 func UnionValues(vals ...Value) Value {
 	var out []Value
 	seen := make(map[string]bool)
+	// Operands routinely alias the same rendered *Object: token renders are
+	// cached and shared, so a hot key cited by n tuples contributes the same
+	// pointer n times. Pointer identity short-circuits the O(size) canonical
+	// Key for every repeat, keeping such unions linear instead of O(n²).
+	var seenObj map[*Object]bool
 	add := func(v Value) {
+		if v.Kind == KObject && v.Obj != nil {
+			if seenObj[v.Obj] {
+				return
+			}
+			if seenObj == nil {
+				seenObj = make(map[*Object]bool)
+			}
+			seenObj[v.Obj] = true
+		}
 		k := v.Key()
 		if !seen[k] {
 			seen[k] = true

@@ -1,0 +1,175 @@
+// Package lsm is a dependency-free log-structured persistent backend for the
+// citation store: a write-ahead log in front of a sorted memtable, flushed to
+// immutable SSTable files with a sort-order-preserving composite key encoding
+// (relation / index ordering / column values / version), per-table block
+// indexes and bloom filters, and leveled background compaction.
+//
+// Versions are encoded into the keys themselves (inverted, so newer versions
+// sort first within a logical key), which makes VersionedDB-style time travel
+// durable: AsOf(V) reads are answered directly from the persistent key space
+// by skipping entries stamped after V — no materialized per-version database.
+// Snapshot isolation mirrors storage.DB's copy-on-write Snapshot: a snapshot
+// pins the immutable SSTable set plus a memtable sequence-number ceiling, so
+// concurrent writers never perturb an in-flight reader.
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Key layout
+//
+//	logical  := rel 0x00 ord field*            (field per column, rotated)
+//	field    := escape(value) 0x00 0x01        (0x00 inside values → 0x00 0xFF)
+//	full     := logical ^version(8) ^seq(8)    (big-endian bitwise-NOT stamps)
+//
+// The escaping preserves lexicographic value order across field boundaries
+// (the 0x00 0x01 terminator sorts below every continuation byte), so a range
+// scan over a prefix of encoded fields enumerates exactly the tuples whose
+// leading columns match. Version and sequence stamps are inverted so that,
+// within one logical key, the newest write sorts first — an AsOf(V) read
+// seeks to the logical key and takes the first entry with version ≤ V.
+//
+// Each relation is stored under arity many orderings: ordering o holds the
+// tuple rotated to start at column o, giving every column a covering index a
+// prefix scan can serve. Ordering pkOrd additionally indexes relations whose
+// primary key is a proper subset of their columns, keyed by the key columns
+// only, for O(1) uniqueness probes on the write path.
+
+// Entry op codes (the value byte of every entry).
+const (
+	opSet       = 1
+	opTombstone = 2
+)
+
+// pkOrd is the pseudo-ordering holding primary-key uniqueness probes. It
+// sorts above all rotation orderings (arity is far below 0x7e) and below
+// nothing that matters.
+const pkOrd = 0x7e
+
+// stampLen is the fixed-width version+sequence suffix of a full key.
+const stampLen = 16
+
+// appendField appends one escaped, terminated column value.
+func appendField(dst []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		if v[i] == 0x00 {
+			dst = append(dst, 0x00, 0xff)
+		} else {
+			dst = append(dst, v[i])
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// appendLogicalPrefix appends rel 0x00 ord — the shared prefix of every key
+// of one (relation, ordering) keyspace.
+func appendLogicalPrefix(dst []byte, rel string, ord byte) []byte {
+	dst = append(dst, rel...)
+	return append(dst, 0x00, ord)
+}
+
+// appendStamp appends the inverted version and sequence suffix.
+func appendStamp(dst []byte, version, seq uint64) []byte {
+	var b [stampLen]byte
+	binary.BigEndian.PutUint64(b[:8], ^version)
+	binary.BigEndian.PutUint64(b[8:], ^seq)
+	return append(dst, b[:]...)
+}
+
+// encodeKey builds the full key of one entry: the tuple rotated to start at
+// column ord (or projected to the key columns for pkOrd), stamped with
+// version and sequence.
+func encodeKey(dst []byte, rel string, ord byte, fields []string, version, seq uint64) []byte {
+	dst = appendLogicalPrefix(dst, rel, ord)
+	for _, f := range fields {
+		dst = appendField(dst, f)
+	}
+	return appendStamp(dst, version, seq)
+}
+
+// logicalOf strips the version/sequence stamp, returning the logical key.
+func logicalOf(full []byte) []byte { return full[:len(full)-stampLen] }
+
+// stampOf decodes the version and sequence of a full key.
+func stampOf(full []byte) (version, seq uint64) {
+	s := full[len(full)-stampLen:]
+	return ^binary.BigEndian.Uint64(s[:8]), ^binary.BigEndian.Uint64(s[8:])
+}
+
+// decodeFields parses the escaped fields of a logical key after the given
+// prefix length (rel 0x00 ord).
+func decodeFields(logical []byte, prefixLen int) ([]string, error) {
+	var out []string
+	buf := logical[prefixLen:]
+	var cur []byte
+	for i := 0; i < len(buf); {
+		c := buf[i]
+		if c != 0x00 {
+			cur = append(cur, c)
+			i++
+			continue
+		}
+		if i+1 >= len(buf) {
+			return nil, fmt.Errorf("lsm: truncated field escape in key")
+		}
+		switch buf[i+1] {
+		case 0x01: // terminator
+			out = append(out, string(cur))
+			cur = cur[:0]
+			i += 2
+		case 0xff: // escaped 0x00
+			cur = append(cur, 0x00)
+			i += 2
+		default:
+			return nil, fmt.Errorf("lsm: invalid field escape 0x%02x", buf[i+1])
+		}
+	}
+	if len(cur) != 0 {
+		return nil, fmt.Errorf("lsm: unterminated field in key")
+	}
+	return out, nil
+}
+
+// rotate returns the tuple's values rotated to start at column ord.
+func rotate(vals []string, ord int) []string {
+	k := len(vals)
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = vals[(ord+i)%k]
+	}
+	return out
+}
+
+// unrotate inverts rotate: fields holds vals rotated by ord.
+func unrotate(fields []string, ord int) []string {
+	k := len(fields)
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[(ord+i)%k] = fields[i]
+	}
+	return out
+}
+
+// prefixSuccessor returns the smallest byte string greater than every string
+// with the given prefix, or nil when the prefix is all 0xff (scan to end).
+func prefixSuccessor(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// inRange reports whether key belongs to [start, end); a nil end means +∞.
+func inRange(key, start, end []byte) bool {
+	if bytes.Compare(key, start) < 0 {
+		return false
+	}
+	return end == nil || bytes.Compare(key, end) < 0
+}

@@ -1,0 +1,126 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync/atomic"
+)
+
+// skiplist is the sorted memtable structure: byte-string keys with one-byte
+// op values, insert-only, single writer, safe for concurrent lock-free
+// readers. Nodes are immutable after publication except their forward
+// pointers, which are only ever swung to include new nodes — never unlinked —
+// so a reader traversing with atomic loads always sees a consistent list and
+// readers pinned to a sequence-number ceiling simply skip entries stamped
+// after their snapshot.
+const skipMaxHeight = 16
+
+type skipNode struct {
+	key  []byte
+	op   byte
+	next [skipMaxHeight]atomic.Pointer[skipNode]
+}
+
+type skiplist struct {
+	head   *skipNode
+	height atomic.Int32
+	rnd    *rand.Rand
+	count  int
+	bytes  int
+}
+
+func newSkiplist() *skiplist {
+	s := &skiplist{head: &skipNode{}, rnd: rand.New(rand.NewSource(0x5eed))}
+	s.height.Store(1)
+	return s
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < skipMaxHeight && s.rnd.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// put inserts a key (full keys are unique: the sequence stamp differs on
+// every write, so no update path is needed). Writer-side only.
+func (s *skiplist) put(key []byte, op byte) {
+	var prev [skipMaxHeight]*skipNode
+	h := int(s.height.Load())
+	n := s.head
+	for lvl := h - 1; lvl >= 0; lvl-- {
+		for {
+			nx := n.next[lvl].Load()
+			if nx == nil || bytes.Compare(nx.key, key) >= 0 {
+				break
+			}
+			n = nx
+		}
+		prev[lvl] = n
+	}
+	nh := s.randomHeight()
+	if nh > h {
+		for lvl := h; lvl < nh; lvl++ {
+			prev[lvl] = s.head
+		}
+		s.height.Store(int32(nh))
+	}
+	node := &skipNode{key: key, op: op}
+	// Publish bottom-up: once the node is reachable at level 0 every reader
+	// sees a fully initialized node (key/op are written before any link).
+	for lvl := 0; lvl < nh; lvl++ {
+		node.next[lvl].Store(prev[lvl].next[lvl].Load())
+		prev[lvl].next[lvl].Store(node)
+	}
+	s.count++
+	s.bytes += len(key) + 1 + 48 // node overhead estimate for flush sizing
+}
+
+// seek returns the first node with key ≥ target (nil at end).
+func (s *skiplist) seek(target []byte) *skipNode {
+	n := s.head
+	for lvl := int(s.height.Load()) - 1; lvl >= 0; lvl-- {
+		for {
+			nx := n.next[lvl].Load()
+			if nx == nil || bytes.Compare(nx.key, target) >= 0 {
+				break
+			}
+			n = nx
+		}
+	}
+	return n.next[0].Load()
+}
+
+// memIter iterates the skiplist ascending within [start, end).
+type memIter struct {
+	node  *skipNode
+	end   []byte
+	first bool
+}
+
+func (s *skiplist) iter(start, end []byte) *memIter {
+	return &memIter{node: s.seek(start), end: end, first: true}
+}
+
+func (it *memIter) next() bool {
+	if !it.first {
+		if it.node == nil {
+			return false
+		}
+		it.node = it.node.next[0].Load()
+	}
+	it.first = false
+	if it.node == nil {
+		return false
+	}
+	if it.end != nil && bytes.Compare(it.node.key, it.end) >= 0 {
+		it.node = nil
+		return false
+	}
+	return true
+}
+
+func (it *memIter) key() []byte { return it.node.key }
+func (it *memIter) op() byte    { return it.node.op }
+func (it *memIter) close()      {}

@@ -118,6 +118,32 @@ func FromDB(db *storage.DB, n int) (*DB, error) {
 	return d, nil
 }
 
+// FromView partitions the contents of any database view (for example a
+// snapshot of the persistent LSM backend) across n shards, so a sharded
+// deployment can be loaded straight from a persistent store without an
+// intermediate storage.DB copy.
+func FromView(schema *storage.Schema, v eval.DBView, n int) (*DB, error) {
+	d := New(schema, n)
+	for _, rs := range schema.Relations() {
+		rv := v.Relation(rs.Name)
+		if rv == nil {
+			continue
+		}
+		var ierr error
+		rv.Scan(func(t storage.Tuple) bool {
+			if err := d.Insert(rs.Name, t...); err != nil {
+				ierr = err
+				return false
+			}
+			return true
+		})
+		if ierr != nil {
+			return nil, ierr
+		}
+	}
+	return d, nil
+}
+
 // fnv32a hashes a shard-key value (FNV-1a) for shard routing.
 func fnv32a(s string) uint32 {
 	h := uint32(2166136261)

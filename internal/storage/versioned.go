@@ -19,10 +19,20 @@ type VersionedDB struct {
 	// live indexes the currently-valid row of each tuple key per relation,
 	// keeping Insert/Delete O(1) instead of scanning history.
 	live map[string]map[string]int
-	// snapshots caches materialized AsOf databases.
+	// snapshots caches materialized AsOf databases, bounded to snapCap
+	// entries with LRU eviction: mixed-version traffic (B23) touches many
+	// historical versions, and each materialization is a full copy of the
+	// visible rows — caching them all is a leak, not a cache.
 	snapshots map[uint64]*DB
+	snapLRU   []uint64 // cached versions, least recently used first
+	snapCap   int
 	labels    map[uint64]string
 }
+
+// defaultSnapshotCacheSize bounds the AsOf snapshot cache. Eight pinned
+// versions cover the release-reader pattern (a handful of live citations per
+// process) without retaining a copy of the database per historical version.
+const defaultSnapshotCacheSize = 8
 
 type vrow struct {
 	t    Tuple
@@ -38,9 +48,39 @@ func NewVersionedDB(schema *Schema) *VersionedDB {
 		rows:      make(map[string][]vrow),
 		live:      make(map[string]map[string]int),
 		snapshots: make(map[uint64]*DB),
+		snapCap:   defaultSnapshotCacheSize,
 		labels:    make(map[uint64]string),
 	}
 	return v
+}
+
+// SetSnapshotCacheSize bounds the AsOf snapshot cache to n materialized
+// versions (minimum 1), evicting the least recently used beyond that.
+func (v *VersionedDB) SetSnapshotCacheSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	v.snapCap = n
+	for len(v.snapLRU) > v.snapCap {
+		v.evictOldestSnapshot()
+	}
+}
+
+func (v *VersionedDB) evictOldestSnapshot() {
+	oldest := v.snapLRU[0]
+	v.snapLRU = v.snapLRU[1:]
+	delete(v.snapshots, oldest)
+}
+
+// touchSnapshot moves a cached version to the most-recently-used position.
+func (v *VersionedDB) touchSnapshot(version uint64) {
+	for i, ver := range v.snapLRU {
+		if ver == version {
+			copy(v.snapLRU[i:], v.snapLRU[i+1:])
+			v.snapLRU[len(v.snapLRU)-1] = version
+			return
+		}
+	}
 }
 
 // Schema returns the database schema.
@@ -137,6 +177,7 @@ func (v *VersionedDB) AsOf(version uint64) (*DB, error) {
 		return nil, fmt.Errorf("storage: version %d out of range [1,%d]", version, v.version)
 	}
 	if db, ok := v.snapshots[version]; ok && version < v.version {
+		v.touchSnapshot(version)
 		return db, nil
 	}
 	db := NewDB(v.schema)
@@ -150,7 +191,11 @@ func (v *VersionedDB) AsOf(version uint64) (*DB, error) {
 		}
 	}
 	if version < v.version { // only completed versions are immutable
+		if len(v.snapLRU) >= v.snapCap {
+			v.evictOldestSnapshot()
+		}
 		v.snapshots[version] = db
+		v.snapLRU = append(v.snapLRU, version)
 	}
 	return db, nil
 }

@@ -1,0 +1,75 @@
+package storage
+
+import "testing"
+
+// The AsOf snapshot cache must stay bounded (ISSUE 10 satellite 2): B23-style
+// mixed-version traffic touches many historical versions, and each cached
+// snapshot is a full copy of the rows visible at that version.
+
+func lruTestDB(t *testing.T, commits int) *VersionedDB {
+	t.Helper()
+	s := NewSchema()
+	if err := s.AddRelation(&RelSchema{
+		Name: "R",
+		Cols: []Column{{Name: "K", Type: TString}, {Name: "V", Type: TString}},
+		Key:  []string{"K"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVersionedDB(s)
+	for i := 0; i < commits; i++ {
+		v.MustInsert("R", Tuple{string(rune('a' + i)), "x"}...)
+		v.Commit("")
+	}
+	return v
+}
+
+func TestVersionedSnapshotCacheBounded(t *testing.T) {
+	const commits = 3 * defaultSnapshotCacheSize
+	v := lruTestDB(t, commits)
+	for _, ver := range v.Versions() {
+		if _, err := v.AsOf(ver); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(v.snapshots); got > v.snapCap {
+			t.Fatalf("snapshot cache grew to %d entries, cap %d", got, v.snapCap)
+		}
+	}
+	if got := len(v.snapshots); got != v.snapCap {
+		t.Fatalf("cache holds %d snapshots after %d versions, want full cap %d", got, commits, v.snapCap)
+	}
+	// An evicted version rematerializes correctly.
+	db, err := v.AsOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Relation("R").Len(); n != 1 {
+		t.Fatalf("version 1 rematerialized with %d rows, want 1", n)
+	}
+}
+
+func TestVersionedSnapshotCacheLRUOrder(t *testing.T) {
+	v := lruTestDB(t, defaultSnapshotCacheSize+4)
+	v.SetSnapshotCacheSize(2)
+	a, _ := v.AsOf(1)
+	b, _ := v.AsOf(2)
+	// Touch 1 so it is most recently used; 2 must be the eviction victim.
+	if got, _ := v.AsOf(1); got != a {
+		t.Fatal("cached snapshot for version 1 was not reused")
+	}
+	if _, err := v.AsOf(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, still := v.snapshots[2]; still {
+		t.Fatal("LRU kept version 2 over more recently used version 1")
+	}
+	if got, _ := v.AsOf(1); got != a {
+		t.Fatal("version 1 should have survived the eviction")
+	}
+	// Shrinking the cap evicts down to the new bound.
+	v.SetSnapshotCacheSize(1)
+	if len(v.snapshots) != 1 {
+		t.Fatalf("cache holds %d snapshots after cap shrink to 1", len(v.snapshots))
+	}
+	_ = b
+}

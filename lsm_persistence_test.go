@@ -1,0 +1,243 @@
+package citare
+
+// Durable time-travel acceptance for the LSM backend (ISSUE 10): the
+// citegraph workload is loaded into a persistent store along with
+// follow-up versioned commits, the store is closed and reopened from disk
+// with no reload, and everything observable (head citations, AsOf reads at
+// every committed version, sharded scatter-gather, streaming, resilient
+// evaluation) is byte-identical to the in-memory reference backend.
+//
+// Scale follows the repo's stress convention: ScaleSmall in ordinary test
+// runs (CI included — it fits -race), ScaleStress (1.05M tuples, the
+// acceptance walk) when CITARE_LSM_STRESS is set — the stress instance
+// takes minutes and would trip the per-package test timeout if always on:
+//
+//	CITARE_LSM_STRESS=1 go test -run TestLSMDurableCitegraphParity -timeout 60m .
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"citare/internal/backend"
+	"citare/internal/citegraph"
+	"citare/internal/lsm"
+	"citare/internal/shard"
+	"citare/internal/storage"
+)
+
+// durableAnchor is the work the update batches cite and the AsOf probes
+// anchor on: mid-popularity, so its incoming list changes at every version
+// without the quadratic hot-key render (see runB21's caveat on streaming
+// the Zipf head at stress scale).
+func durableAnchor(cfg citegraph.Config) string {
+	return citegraph.WorkID(cfg.Works / 120)
+}
+
+// durableWorkload mirrors the B21 case list: hot- and tail-key resolution,
+// mid-popularity incoming/co-citation probes, and the deep joins — every
+// shape, none quadratic in the Zipf head's in-degree.
+func durableWorkload(cfg citegraph.Config) []mixedQuery {
+	hot, mid, tail := citegraph.HotWork(), durableAnchor(cfg), citegraph.WorkID(cfg.Works-1)
+	return []mixedQuery{
+		{false, citegraph.ResolutionQuery(hot)},
+		{false, citegraph.ResolutionQuery(tail)},
+		{false, citegraph.IncomingQuery(mid)},
+		{false, citegraph.CoCitationQuery(mid)},
+		{false, citegraph.ChainQuery(tail)},
+		{false, citegraph.AuthorProvenanceQuery(citegraph.AuthorID(7))},
+		{false, citegraph.VenueRollupQuery(citegraph.VenueID(3))},
+	}
+}
+
+// applyCitegraphHistory loads the generated citegraph base instance as
+// version 1, then applies two late-breaking update batches — fresh works
+// citing the anchor work, with one reference retracted in the second
+// batch — committing after each. Identical calls against any Backend
+// produce identical histories (generation and iteration are deterministic).
+func applyCitegraphHistory(t *testing.T, b backend.Backend, cfg citegraph.Config) []uint64 {
+	t.Helper()
+	db := citegraph.Generate(cfg)
+	for _, rs := range db.Schema().Relations() {
+		var ierr error
+		db.Relation(rs.Name).Scan(func(tu storage.Tuple) bool {
+			ierr = b.Insert(rs.Name, tu...)
+			return ierr == nil
+		})
+		if ierr != nil {
+			t.Fatalf("load %s: %v", rs.Name, ierr)
+		}
+	}
+	commit := func(label string) uint64 {
+		v, err := b.Commit(label)
+		if err != nil {
+			t.Fatalf("commit %s: %v", label, err)
+		}
+		return v
+	}
+	anchor := durableAnchor(cfg)
+	versions := []uint64{commit("base")}
+	for batch := 0; batch < 2; batch++ {
+		for j := 0; j < 5; j++ {
+			w := citegraph.WorkID(cfg.Works + batch*5 + j)
+			for _, ins := range [][]string{
+				{"Work", w, "Late-breaking " + w, citegraph.VenueID(0), "2017"},
+				{"Wrote", citegraph.AuthorID(j), w},
+				{"Cites", w, anchor},
+			} {
+				if err := b.Insert(ins[0], ins[1:]...); err != nil {
+					t.Fatalf("batch %d insert %v: %v", batch, ins, err)
+				}
+			}
+		}
+		if batch == 1 {
+			// Retract one of the first batch's references: AsOf must see it
+			// at versions 2..2 only.
+			ok, err := b.Delete("Cites", citegraph.WorkID(cfg.Works), anchor)
+			if err != nil || !ok {
+				t.Fatalf("retract = (%v, %v), want live delete", ok, err)
+			}
+		}
+		versions = append(versions, commit(fmt.Sprintf("batch-%d", batch+1)))
+	}
+	return versions
+}
+
+// backendCitegraphCiter builds a citer over any backend with the citegraph
+// policy library.
+func backendCitegraphCiter(t *testing.T, b backend.Backend) *Citer {
+	t.Helper()
+	c, err := NewBackendFromProgram(b, citegraph.ViewsProgram,
+		WithNeutralCitation(citegraph.DatasetCitation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLSMDurableCitegraphParity is the ISSUE 10 acceptance walk: load,
+// restart, verify everything against the in-memory reference.
+func TestLSMDurableCitegraphParity(t *testing.T) {
+	cfg := citegraph.ScaleSmall()
+	opt := lsm.Options{}
+	if os.Getenv("CITARE_LSM_STRESS") != "" {
+		cfg = citegraph.ScaleStress() // 1,050,200 base tuples
+		opt.MemtableBytes = 64 << 20  // fewer flush pauses during the bulk load
+	}
+	dir := t.TempDir()
+
+	mem := backend.NewMemory(citegraph.Schema(cfg))
+	memVers := applyCitegraphHistory(t, mem, cfg)
+
+	ldb, err := backend.OpenLSM(dir, citegraph.Schema(cfg), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsmVers := applyCitegraphHistory(t, ldb, cfg)
+	if fmt.Sprint(lsmVers) != fmt.Sprint(memVers) {
+		t.Fatalf("committed versions diverge: lsm %v, memory %v", lsmVers, memVers)
+	}
+	if err := ldb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen purely from disk: nil schema means even the schema comes from
+	// the manifest — nothing is regenerated or reloaded.
+	re, err := backend.OpenLSM(dir, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	base := backendCitegraphCiter(t, mem)
+	durable := backendCitegraphCiter(t, re)
+
+	// Head citations: byte-identical through the reopened store.
+	for _, q := range durableWorkload(cfg) {
+		want, err := cite(base, q)
+		if err != nil {
+			t.Fatalf("memory %s: %v", q.src, err)
+		}
+		got, err := cite(durable, q)
+		if err != nil {
+			t.Fatalf("lsm %s: %v", q.src, err)
+		}
+		if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+			t.Fatalf("head %s:\n got %s\nwant %s", q.src, g, w)
+		}
+	}
+
+	// Time travel: every committed version answers identically, served
+	// straight from the version-stamped persistent keys. The incoming-cites
+	// probe on the anchor work changes at every version (insertions, then a
+	// retraction), so these fingerprints genuinely differ across versions.
+	asOfQ := mixedQuery{false, citegraph.IncomingQuery(durableAnchor(cfg))}
+	for _, v := range memVers {
+		if got, want := re.Label(v), mem.Label(v); got != want {
+			t.Fatalf("label(%d) = %q, want %q", v, got, want)
+		}
+		mc, err := base.AsOf(v)
+		if err != nil {
+			t.Fatalf("memory AsOf(%d): %v", v, err)
+		}
+		lc, err := durable.AsOf(v)
+		if err != nil {
+			t.Fatalf("lsm AsOf(%d): %v", v, err)
+		}
+		want, err := cite(mc, asOfQ)
+		if err != nil {
+			t.Fatalf("memory AsOf(%d) cite: %v", v, err)
+		}
+		got, err := cite(lc, asOfQ)
+		if err != nil {
+			t.Fatalf("lsm AsOf(%d) cite: %v", v, err)
+		}
+		if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+			t.Fatalf("AsOf(%d):\n got %s\nwant %s", v, g, w)
+		}
+	}
+
+	// Sharded scatter-gather over the persistent head: hash-partition a
+	// snapshot view straight off the store and compare against the
+	// in-memory baseline, with resilience armor on (fault-free runs must be
+	// invisible and full-coverage).
+	v, err := re.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := shard.FromView(re.Schema(), v, 3)
+	v.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedFromProgram(sdb, citegraph.ViewsProgram,
+		WithNeutralCitation(citegraph.DatasetCitation()),
+		WithResilience(ResilienceConfig{Seed: 11}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range durableWorkload(cfg) {
+		want, err := cite(base, q)
+		if err != nil {
+			t.Fatalf("memory %s: %v", q.src, err)
+		}
+		got, err := cite(sharded, q)
+		if err != nil {
+			t.Fatalf("sharded-lsm %s: %v", q.src, err)
+		}
+		if g, w := citationFingerprint(t, got), citationFingerprint(t, want); g != w {
+			t.Fatalf("sharded %s:\n got %s\nwant %s", q.src, g, w)
+		}
+		if got.Coverage().Partial() {
+			t.Fatalf("%s: fault-free resilient run reported partial coverage", q.src)
+		}
+	}
+
+	// Streaming over the persistent store: streamed bytes match the
+	// materialized citation.
+	for qi, mq := range durableWorkload(cfg) {
+		t.Run(fmt.Sprintf("stream/q%d", qi), func(t *testing.T) {
+			assertStreamMatchesCite(t, durable, Request{Datalog: mq.src})
+		})
+	}
+}
